@@ -1,0 +1,68 @@
+"""ABL-CSV: the CSV model's effect on solvable statistics.
+
+Quantifies what Fig. 1 implies for the statistics pipeline: under the
+traditional model a growing fraction of Monte-Carlo samples destroys
+the mesh and cannot be solved at all (the paper's "destruction of mesh
+and the error of calculation"), while the CSV model solves every
+sample.  Expected shape: at sigma_G comparable to the mesh step, the
+traditional model loses a large fraction of samples; CSV loses none.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import Table1Config, table1_problem
+from repro.geometry import MetalPlugDesign
+from repro.reporting import format_table
+from repro.units import um
+from repro.variation.random_field import stable_cholesky
+
+from conftest import write_report
+
+
+def _solvable_fraction(problem, num_samples, seed):
+    factors = {g.name: stable_cholesky(g.covariance)
+               for g in problem.groups}
+    rng = np.random.default_rng(seed)
+    solved = 0
+    for _ in range(num_samples):
+        xi = {g.name: factors[g.name] @ rng.standard_normal(g.size)
+              for g in problem.groups}
+        try:
+            problem.evaluate_sample(xi)
+        except ReproError:
+            continue
+        solved += 1
+    return solved / num_samples
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_csv_vs_naive_solvability(benchmark, profile, output_dir):
+    design = MetalPlugDesign(max_step=um(2.0))
+    sigma = um(1.5)  # below the step: naive survives sometimes
+    samples = max(20, profile["fig1_samples"] // 2)
+    holder = {}
+
+    def run():
+        for model in ("csv", "naive"):
+            config = Table1Config(design=design, sigma_g=sigma,
+                                  rdf_nodes=8, surface_model=model)
+            problem = table1_problem("geometry", config)
+            holder[model] = _solvable_fraction(problem, samples,
+                                               profile["mc_seed"])
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["model", "solvable sample fraction"],
+        [["CSV (paper)", holder["csv"]],
+         ["traditional", holder["naive"]]],
+        title=(f"ABL-CSV: fraction of MC samples that solve at "
+               f"sigma_G = {sigma * 1e6:.2f} um "
+               f"(mesh step {um(2.0) * 1e6:.2f} um)"))
+    write_report(output_dir, "ablation_csv", text)
+
+    # --- shape assertions -------------------------------------------
+    assert holder["csv"] == 1.0
+    assert holder["naive"] < holder["csv"]

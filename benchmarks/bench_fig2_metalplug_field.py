@@ -1,0 +1,65 @@
+"""FIG2: the metal-plug structure and its interface potential map.
+
+Reproduces Fig. 2(a)'s structure statistics (node/link counts in the
+range of the paper's 1300-node / 3540-link mesh) and Fig. 2(b)'s
+potential distribution on the metal/silicon interface: maximum under
+the driven plug, monotone decay toward the grounded one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.extraction import potential_cross_section
+from repro.geometry import MetalPlugDesign, build_metalplug_structure
+from repro.reporting import format_kv_block
+from repro.solver import AVSolver
+from repro.units import um
+
+from conftest import write_report
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_interface_field(benchmark, profile, output_dir):
+    structure = build_metalplug_structure(MetalPlugDesign())
+    solver = AVSolver(structure, frequency=1.0e9)
+    holder = {}
+
+    def run():
+        holder["solution"] = solver.solve({"plug1": 1.0, "plug2": 0.0})
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    solution = holder["solution"]
+    xs, ys, values = potential_cross_section(solution, axis=2,
+                                             coordinate=um(10.0))
+    mags = np.abs(values)
+
+    grid = structure.grid
+    rows = [f"{x * 1e6:5.1f} | "
+            + " ".join(f"{mags[i, j]:.3f}" for j in range(ys.size))
+            for i, x in enumerate(xs)]
+    text = "\n".join([
+        format_kv_block([
+            ("nodes", grid.num_nodes),
+            ("links", grid.num_links),
+            ("paper mesh", "1300 nodes / 3540 links"),
+        ], title="FIG 2(a) reproduction: metal-plug structure"),
+        "",
+        "FIG 2(b) reproduction: |V| on the interface plane "
+        "(rows = x [um])",
+        *rows,
+    ])
+    write_report(output_dir, "fig2", text)
+
+    # --- shape assertions -------------------------------------------
+    # Same order of magnitude as the paper's mesh.
+    assert 500 <= grid.num_nodes <= 6000
+    assert 1500 <= grid.num_links <= 18000
+    # Field shape: ~1 V under plug1, ~0 V under plug2, gradient between.
+    i1 = int(np.argmin(np.abs(xs - um(2.5))))
+    i2 = int(np.argmin(np.abs(xs - um(7.5))))
+    jmid = int(np.argmin(np.abs(ys - um(5.0))))
+    assert mags[i1, jmid] > 0.95
+    assert mags[i2, jmid] < 0.05
+    imid = int(np.argmin(np.abs(xs - um(5.0))))
+    assert 0.2 < mags[imid, jmid] < 0.8

@@ -1,0 +1,61 @@
+"""FIG3: the two-TSV test structure.
+
+Reproduces Fig. 3's structure inventory: two 5x5x20 um TSVs at 10 um
+pitch through a 5 um silicon substrate with two 2 um metal trace
+layers, wires of 1 um width / 2 um height, and the 8 perturbable
+lateral facets grouped as in Section IV.B.  The paper's mesh is 4032
+nodes / 11332 links; the default design lands in the same range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import TsvDesign, build_tsv_structure
+from repro.reporting import format_kv_block
+from repro.units import um
+from repro.variation import geometry_groups_from_facets
+
+from conftest import write_report
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_structure(benchmark, profile, output_dir):
+    design = TsvDesign()
+    holder = {}
+
+    def run():
+        holder["structure"] = build_tsv_structure(design)
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    structure = holder["structure"]
+    grid = structure.grid
+    kinds = structure.node_kinds()
+    groups = geometry_groups_from_facets(grid, design.lateral_facets(),
+                                         sigma=um(0.15), eta=um(0.7))
+
+    text = format_kv_block([
+        ("nodes", grid.num_nodes),
+        ("links", grid.num_links),
+        ("paper mesh", "4032 nodes / 11332 links"),
+        ("metal nodes", kinds.num_metal),
+        ("semiconductor nodes", kinds.num_semiconductor),
+        ("contacts", sorted(structure.contacts)),
+        ("roughness groups",
+         {g.name: g.size for g in groups}),
+    ], title="FIG 3 reproduction: TSV structure inventory")
+    write_report(output_dir, "fig3", text)
+
+    # --- shape assertions -------------------------------------------
+    assert 2000 <= grid.num_nodes <= 16000
+    assert sorted(structure.contacts) == ["tsv1", "tsv2", "w1", "w2",
+                                          "w3", "w4"]
+    # 8 facets merge into 2 big + 4 small groups; the merged groups are
+    # exactly twice the single-facet size (identical coplanar facets).
+    assert len(groups) == 6
+    sizes = sorted(g.size for g in groups)
+    assert sizes[-1] == sizes[-2] == 2 * sizes[0]
+    # TSV geometry figures from the paper.
+    boxes = design.tsv_boxes()
+    assert boxes[0].size == (um(5.0), um(5.0), um(20.0))
+    assert boxes[1].lo[0] - boxes[0].hi[0] == pytest.approx(um(10.0))

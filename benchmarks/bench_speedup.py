@@ -1,0 +1,80 @@
+"""SPEEDUP: the paper's "about 10X" SSCM-vs-MC claim.
+
+Counts deterministic solver runs and wall time for the SSCM against a
+Monte Carlo of the paper's 10000-run reference size (wall time is
+extrapolated from the measured per-sample cost so the fast profile
+stays fast).  Expected shape: at the paper's dimensions (d = 22 and
+d = 34) the sparse grid needs 4x-10x fewer runs than a 10000-run MC —
+the paper reports "about 10X" for example A.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_sscm_analysis
+from repro.analysis.speedup import SpeedupReport
+from repro.experiments import table1_problem
+from repro.stochastic.sparse_grid import paper_point_count
+from repro.variation.random_field import stable_cholesky
+
+from conftest import write_report
+
+PAPER_MC_RUNS = 10000
+
+
+@pytest.mark.benchmark(group="speedup")
+def test_speedup_vs_monte_carlo(benchmark, profile, output_dir):
+    settings = profile["table1"]
+    problem = table1_problem("both", settings["config"]())
+    holder = {}
+
+    def run():
+        holder["sscm"] = run_sscm_analysis(
+            problem, energy=0.95,
+            max_variables_by_group=settings["caps"])
+        # Measure the raw per-sample MC cost on a handful of samples.
+        factors = {g.name: stable_cholesky(g.covariance)
+                   for g in problem.groups}
+        rng = np.random.default_rng(profile["mc_seed"])
+        start = time.perf_counter()
+        probe = 5
+        for _ in range(probe):
+            xi = {g.name: factors[g.name]
+                  @ rng.standard_normal(g.size)
+                  for g in problem.groups}
+            problem.evaluate_sample(xi)
+        holder["mc_per_sample"] = (time.perf_counter() - start) / probe
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    sscm = holder["sscm"]
+    mc_time = holder["mc_per_sample"] * PAPER_MC_RUNS
+    report = SpeedupReport(
+        mc_runs=PAPER_MC_RUNS,
+        sscm_runs=sscm.num_runs,
+        mc_time=mc_time,
+        sscm_time=sscm.sscm.wall_time,
+        dim=sscm.dim,
+    )
+    lines = [
+        "SPEEDUP reproduction (paper: 'about 10X' for example A)",
+        report.render(),
+        "",
+        "paper dimensions:",
+        f"  example A: d=22 -> {paper_point_count(22)} runs vs "
+        f"{PAPER_MC_RUNS} MC -> {PAPER_MC_RUNS / paper_point_count(22):.1f}x",
+        f"  example B: d=34 -> {paper_point_count(34)} runs vs "
+        f"{PAPER_MC_RUNS} MC -> {PAPER_MC_RUNS / paper_point_count(34):.1f}x",
+    ]
+    write_report(output_dir, "speedup", "\n".join(lines))
+
+    # --- shape assertions -------------------------------------------
+    assert report.run_ratio > 3.0
+    assert report.time_ratio > 3.0
+    # The paper's own ratios are pinned by the formula.
+    assert PAPER_MC_RUNS / paper_point_count(22) == pytest.approx(
+        9.66, abs=0.05)
+    assert PAPER_MC_RUNS / paper_point_count(34) == pytest.approx(
+        4.14, abs=0.05)

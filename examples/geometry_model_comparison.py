@@ -1,0 +1,82 @@
+"""Fig. 1 demonstration: traditional vs continuous surface variation.
+
+Sweeps the roughness amplitude sigma_G on the TSV lateral walls and
+measures, for each model, the fraction of Monte-Carlo samples whose
+mesh survives (no node-ordering violation).  The traditional model of
+Fig. 1(a) starts destroying the mesh once sigma_G approaches the local
+mesh step; the CSV model of Fig. 1(b) never does.
+
+Run:  python examples/geometry_model_comparison.py
+"""
+
+import numpy as np
+
+from repro.geometry import TsvDesign, build_tsv_structure
+from repro.reporting import Series, format_series
+from repro.units import um
+from repro.variation import (
+    ContinuousSurfaceModel,
+    NaiveSurfaceModel,
+    geometry_groups_from_facets,
+)
+from repro.variation.random_field import stable_cholesky
+
+SIGMA_SWEEP_UM = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5)
+SAMPLES_PER_SIGMA = 40
+
+
+def survival_fraction(model, groups, factors, sigma_scale, rng) -> float:
+    survived = 0
+    for _ in range(SAMPLES_PER_SIGMA):
+        anchors = {}
+        for group in groups:
+            values = sigma_scale * (factors[group.name]
+                                    @ rng.standard_normal(group.size))
+            if group.axis in anchors:
+                ids, vals = anchors[group.axis]
+                anchors[group.axis] = (
+                    np.concatenate([ids, group.node_ids]),
+                    np.concatenate([vals, values]))
+            else:
+                anchors[group.axis] = (group.node_ids, values)
+        if model.perturbed_grid(anchors).validity().valid:
+            survived += 1
+    return survived / SAMPLES_PER_SIGMA
+
+
+def main() -> None:
+    design = TsvDesign(max_step=um(1.25))
+    structure = build_tsv_structure(design)
+    print(structure.summary())
+    # Unit-sigma groups; the sweep rescales the samples.
+    groups = geometry_groups_from_facets(structure.grid,
+                                         design.lateral_facets(),
+                                         sigma=1.0, eta=um(0.7))
+    factors = {g.name: stable_cholesky(g.covariance) for g in groups}
+
+    rng_naive = np.random.default_rng(0)
+    rng_csv = np.random.default_rng(0)
+    naive = NaiveSurfaceModel(structure.grid)
+    csv = ContinuousSurfaceModel(structure.grid)
+    naive_rates = []
+    csv_rates = []
+    for sigma_um in SIGMA_SWEEP_UM:
+        sigma = um(sigma_um)
+        naive_rates.append(survival_fraction(naive, groups, factors,
+                                             sigma, rng_naive))
+        csv_rates.append(survival_fraction(csv, groups, factors, sigma,
+                                           rng_csv))
+
+    sweep = np.array(SIGMA_SWEEP_UM)
+    print()
+    print(format_series(
+        [Series("traditional", sweep, np.array(naive_rates)),
+         Series("CSV (paper)", sweep, np.array(csv_rates))],
+        x_label="sigma_G [um]",
+        title="Mesh survival fraction vs roughness amplitude (Fig. 1)"))
+    print("\nlocal mesh step near the TSV walls: "
+          f"{um(1.25) * 1e6:.2f} um")
+
+
+if __name__ == "__main__":
+    main()

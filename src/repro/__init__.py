@@ -1,0 +1,102 @@
+"""repro — variation-aware EM-semiconductor coupled solver for 3D-IC TSVs.
+
+Reproduction of Xu, Yu, Chen, Jiang & Wong, "Efficient Variation-Aware
+EM-Semiconductor Coupled Solver for the TSV Structures in 3D IC",
+DATE 2012.
+
+Quick tour
+----------
+>>> from repro import build_metalplug_structure, AVSolver
+>>> solver = AVSolver(build_metalplug_structure(), frequency=1e9)
+>>> solution = solver.solve({"plug1": 1.0, "plug2": 0.0})
+
+Stochastic pipeline::
+
+    from repro.experiments import table1_problem
+    from repro.analysis import run_sscm_analysis, run_mc_analysis
+
+    problem = table1_problem("both")
+    sscm = run_sscm_analysis(problem)          # wPFA + sparse grid
+    mc = run_mc_analysis(problem, num_runs=2000)
+"""
+
+from repro.constants import EPS0, MU0, Q, VT_ROOM
+from repro.units import um, nm, ghz
+from repro.errors import (
+    ReproError,
+    MeshError,
+    MeshDestroyedError,
+    GeometryError,
+    MaterialError,
+    ConvergenceError,
+    SingularSystemError,
+    StochasticError,
+    ExtractionError,
+)
+from repro.mesh import CartesianGrid, PerturbedGrid, compute_geometry
+from repro.geometry import (
+    Box,
+    Structure,
+    MetalPlugDesign,
+    TsvDesign,
+    build_metalplug_structure,
+    build_tsv_structure,
+)
+from repro.materials import (
+    Metal,
+    Insulator,
+    Semiconductor,
+    copper,
+    tungsten,
+    silicon_dioxide,
+    doped_silicon,
+    UniformDoping,
+)
+from repro.variation import (
+    ContinuousSurfaceModel,
+    NaiveSurfaceModel,
+    GaussianRandomField,
+)
+from repro.solver import AVSolver, ACSolution
+from repro.extraction import (
+    port_current,
+    metal_semiconductor_current,
+    capacitance_column,
+)
+from repro.stochastic import (
+    run_sscm,
+    run_monte_carlo,
+    smolyak_sparse_grid,
+    pfa_reduce,
+    wpfa_reduce,
+)
+from repro.analysis import (
+    VariationalProblem,
+    run_sscm_analysis,
+    run_mc_analysis,
+    ComparisonTable,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EPS0", "MU0", "Q", "VT_ROOM",
+    "um", "nm", "ghz",
+    "ReproError", "MeshError", "MeshDestroyedError", "GeometryError",
+    "MaterialError", "ConvergenceError", "SingularSystemError",
+    "StochasticError", "ExtractionError",
+    "CartesianGrid", "PerturbedGrid", "compute_geometry",
+    "Box", "Structure", "MetalPlugDesign", "TsvDesign",
+    "build_metalplug_structure", "build_tsv_structure",
+    "Metal", "Insulator", "Semiconductor",
+    "copper", "tungsten", "silicon_dioxide", "doped_silicon",
+    "UniformDoping",
+    "ContinuousSurfaceModel", "NaiveSurfaceModel", "GaussianRandomField",
+    "AVSolver", "ACSolution",
+    "port_current", "metal_semiconductor_current", "capacitance_column",
+    "run_sscm", "run_monte_carlo", "smolyak_sparse_grid",
+    "pfa_reduce", "wpfa_reduce",
+    "VariationalProblem", "run_sscm_analysis", "run_mc_analysis",
+    "ComparisonTable",
+    "__version__",
+]

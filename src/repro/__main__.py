@@ -1,0 +1,91 @@
+"""Command-line interface: quick inspection and nominal solves.
+
+Usage::
+
+    python -m repro info metalplug        # structure inventory
+    python -m repro info tsv
+    python -m repro solve metalplug       # nominal coupled solve
+    python -m repro solve tsv             # nominal capacitance column
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.extraction import capacitance_column, port_current
+from repro.geometry import build_metalplug_structure, build_tsv_structure
+from repro.reporting import format_kv_block
+from repro.solver import AVSolver
+from repro.units import to_femtofarad, to_microampere
+
+STRUCTURES = {
+    "metalplug": build_metalplug_structure,
+    "tsv": build_tsv_structure,
+}
+
+
+def _build(name: str):
+    try:
+        return STRUCTURES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown structure {name!r}; choose from "
+            f"{sorted(STRUCTURES)}")
+
+
+def cmd_info(args) -> int:
+    structure = _build(args.structure)
+    print(structure.summary())
+    return 0
+
+
+def cmd_solve(args) -> int:
+    structure = _build(args.structure)
+    solver = AVSolver(structure, frequency=args.frequency)
+    contacts = sorted(structure.contacts)
+    driven = contacts[0]
+    excitation = {name: (1.0 if name == driven else 0.0)
+                  for name in contacts}
+    solution = solver.solve(excitation)
+    rows = [("frequency [Hz]", f"{args.frequency:.3e}"),
+            ("driven contact", driven)]
+    if args.structure == "tsv":
+        column = capacitance_column(solution, driven)
+        for name in contacts:
+            rows.append((f"C[{name}, {driven}] [fF]",
+                         f"{to_femtofarad(column[name].real):+.4f}"))
+    else:
+        for name in contacts:
+            current = port_current(solution, name)
+            rows.append((f"I({name}) [uA]",
+                         f"{to_microampere(abs(current)):.4f}"))
+    print(format_kv_block(rows, title=f"nominal solve: {args.structure}"))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="variation-aware EM-semiconductor coupled solver "
+                    "(DATE'12 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print a structure inventory")
+    p_info.add_argument("structure", choices=sorted(STRUCTURES))
+    p_info.set_defaults(func=cmd_info)
+
+    p_solve = sub.add_parser("solve", help="run a nominal coupled solve")
+    p_solve.add_argument("structure", choices=sorted(STRUCTURES))
+    p_solve.add_argument("--frequency", type=float, default=1.0e9,
+                         help="excitation frequency in Hz (default 1e9)")
+    p_solve.set_defaults(func=cmd_solve)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Problem definition for a variational analysis.
+
+A :class:`VariationalProblem` is everything the stochastic drivers need
+to turn a perturbation sample into a quantity-of-interest vector:
+
+* the structure and solver settings (frequency, port excitations);
+* the geometry perturbation groups (surface roughness) and the model
+  that propagates them onto the mesh (CSV by default, the traditional
+  direct model for the Fig. 1 ablation);
+* the optional random-doping group and the nominal doping profile;
+* the QoI extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StochasticError
+from repro.geometry.structure import Structure
+from repro.materials.doping import DopingProfile, UniformDoping
+from repro.solver.avsolver import AVSolver
+from repro.variation.csv_model import ContinuousSurfaceModel
+from repro.variation.doping_variation import RandomDopingModel
+from repro.variation.naive_model import NaiveSurfaceModel
+from repro.variation.groups import PerturbationGroup
+
+
+@dataclass
+class VariationalProblem:
+    """One stochastic experiment (one row group of Table I / II).
+
+    Parameters
+    ----------
+    structure:
+        The nominal structure.
+    frequency:
+        Excitation frequency [Hz].
+    excitations:
+        ``{contact: complex voltage}`` port drive.
+    qoi:
+        Callable ``ACSolution -> 1-D float array`` (see
+        :mod:`repro.analysis.qoi`).
+    qoi_names:
+        Labels of the QoI components.
+    geometry_groups:
+        Surface-roughness groups (may be empty for doping-only studies).
+    doping_group:
+        Optional RDF group.
+    base_doping:
+        Nominal doping profile used when the RDF perturbs it; defaults
+        to the uniform profile of the structure's semiconductor.
+    surface_model:
+        ``"csv"`` (the paper's new model) or ``"naive"`` (Fig. 1a).
+    recombination, full_wave:
+        Forwarded to :class:`~repro.solver.avsolver.AVSolver`.
+    """
+
+    structure: Structure
+    frequency: float
+    excitations: dict
+    qoi: callable
+    qoi_names: list
+    geometry_groups: list = field(default_factory=list)
+    doping_group: PerturbationGroup = None
+    base_doping: DopingProfile = None
+    surface_model: str = "csv"
+    recombination: bool = True
+    full_wave: bool = False
+
+    def __post_init__(self) -> None:
+        if self.surface_model not in ("csv", "naive"):
+            raise StochasticError(
+                f"unknown surface model {self.surface_model!r}")
+        if not self.geometry_groups and self.doping_group is None:
+            raise StochasticError(
+                "problem needs at least one perturbation group")
+        for group in self.geometry_groups:
+            if group.kind != "geometry":
+                raise StochasticError(
+                    f"group {group.name!r} is not a geometry group")
+        if self.doping_group is not None:
+            if self.doping_group.kind != "doping":
+                raise StochasticError("doping_group must have kind doping")
+            if self.base_doping is None:
+                material = self.structure.primary_semiconductor()
+                self.base_doping = UniformDoping(material.net_doping)
+        self._solver = None
+        self._surface = None
+        self._doping_model = None
+
+    # ------------------------------------------------------------------
+    @property
+    def solver(self) -> AVSolver:
+        if self._solver is None:
+            self._solver = AVSolver(self.structure, self.frequency,
+                                    recombination=self.recombination,
+                                    full_wave=self.full_wave)
+        return self._solver
+
+    @property
+    def groups(self) -> list:
+        """All perturbation groups, geometry first, doping last."""
+        groups = list(self.geometry_groups)
+        if self.doping_group is not None:
+            groups.append(self.doping_group)
+        return groups
+
+    def _surface_model(self):
+        if self._surface is None:
+            model_cls = (ContinuousSurfaceModel
+                         if self.surface_model == "csv"
+                         else NaiveSurfaceModel)
+            self._surface = model_cls(self.structure.grid)
+        return self._surface
+
+    def _get_doping_model(self) -> RandomDopingModel:
+        if self._doping_model is None:
+            self._doping_model = RandomDopingModel(
+                self.base_doping, self.doping_group,
+                self.structure.grid.num_nodes)
+        return self._doping_model
+
+    # ------------------------------------------------------------------
+    def anchors_for(self, xi_by_group: dict) -> dict:
+        """Merge per-group displacement vectors into per-axis anchors."""
+        anchors = {}
+        for group in self.geometry_groups:
+            xi = np.asarray(xi_by_group[group.name], dtype=float)
+            if xi.shape != (group.size,):
+                raise StochasticError(
+                    f"group {group.name!r}: expected {group.size} values, "
+                    f"got {xi.shape}")
+            if group.axis in anchors:
+                ids, vals = anchors[group.axis]
+                anchors[group.axis] = (
+                    np.concatenate([ids, group.node_ids]),
+                    np.concatenate([vals, xi]))
+            else:
+                anchors[group.axis] = (group.node_ids.copy(), xi.copy())
+        return anchors
+
+    def solve_sample(self, xi_by_group: dict):
+        """Run one deterministic coupled solve for a perturbation sample.
+
+        ``xi_by_group`` maps group names to full-size perturbation
+        vectors (node displacements [m] for geometry groups, relative
+        doping perturbations for the doping group).
+        """
+        solver = self.solver
+        geometry = None
+        if self.geometry_groups:
+            anchors = self.anchors_for(xi_by_group)
+            perturbed = self._surface_model().perturbed_grid(
+                anchors, links=solver.links)
+            geometry = perturbed
+        doping_profile = None
+        if self.doping_group is not None:
+            xi = np.asarray(xi_by_group[self.doping_group.name],
+                            dtype=float)
+            doping_profile = self._get_doping_model().profile_for(xi)
+        return solver.solve(self.excitations, geometry=geometry,
+                            doping_profile=doping_profile)
+
+    def evaluate_sample(self, xi_by_group: dict) -> np.ndarray:
+        """QoI vector of one perturbation sample."""
+        solution = self.solve_sample(xi_by_group)
+        values = np.atleast_1d(np.asarray(self.qoi(solution), dtype=float))
+        if values.shape != (len(self.qoi_names),):
+            raise StochasticError(
+                f"qoi returned {values.shape}, expected "
+                f"({len(self.qoi_names)},)")
+        return values
+
+    def nominal_solution(self):
+        """Solve the unperturbed structure (wPFA weights, Fig. 2b)."""
+        return self.solver.solve(self.excitations)

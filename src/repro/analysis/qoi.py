@@ -1,0 +1,58 @@
+"""Quantity-of-interest extractors for the paper's two experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extraction.capacitance import (
+    capacitance_column,
+    conductor_mask_for_contact,
+)
+from repro.extraction.current import metal_semiconductor_current
+
+
+def interface_current_magnitude(contact: str = None):
+    """QoI of Table I: |J| through the metal-semiconductor interface.
+
+    Parameters
+    ----------
+    contact:
+        Optional contact name; when given, only the interface of the
+        conductor holding that contact is integrated (the two plugs of
+        example A carry equal and opposite interface currents, so
+        summing both would cancel).
+
+    Returns
+    -------
+    callable
+        ``ACSolution -> (1,) array`` with the current magnitude [A].
+    """
+
+    def extract(solution) -> np.ndarray:
+        restrict = None
+        if contact is not None:
+            mask = conductor_mask_for_contact(
+                solution.structure, solution.geometry.links, contact)
+            restrict = np.nonzero(mask)[0]
+        current = metal_semiconductor_current(solution,
+                                              restrict_nodes=restrict)
+        return np.array([abs(current)])
+
+    return extract
+
+
+def capacitance_column_qoi(driven_contact: str, contacts: list):
+    """QoI of Table II: one column of the Maxwell capacitance matrix.
+
+    Returns the *real* parts [F] in the order of ``contacts`` —
+    positive self capacitance, negative couplings, matching the sign
+    convention of the paper's Table II.
+    """
+    contacts = list(contacts)
+
+    def extract(solution) -> np.ndarray:
+        column = capacitance_column(solution, driven_contact,
+                                    contacts=contacts)
+        return np.array([column[name].real for name in contacts])
+
+    return extract

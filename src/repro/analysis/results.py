@@ -1,0 +1,100 @@
+"""Result comparison: the MC-vs-SSCM tables of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StochasticError
+
+
+@dataclass
+class ComparisonTable:
+    """Side-by-side MC / SSCM statistics for one experiment.
+
+    The layout mirrors the paper's Tables I and II: per QoI row, the
+    mean and standard deviation under both methods plus relative errors
+    of SSCM against the MC reference.
+    """
+
+    names: list
+    mc_mean: np.ndarray
+    mc_std: np.ndarray
+    sscm_mean: np.ndarray
+    sscm_std: np.ndarray
+    mc_runs: int
+    sscm_runs: int
+    mc_time: float = float("nan")
+    sscm_time: float = float("nan")
+    unit_scale: float = 1.0
+    unit_label: str = ""
+
+    @classmethod
+    def from_results(cls, mc_result, analysis_result, unit_scale=1.0,
+                     unit_label="") -> "ComparisonTable":
+        names = (mc_result.output_names
+                 or analysis_result.sscm.output_names)
+        if names is None:
+            raise StochasticError("results carry no output names")
+        return cls(
+            names=list(names),
+            mc_mean=np.asarray(mc_result.mean),
+            mc_std=np.asarray(mc_result.std),
+            sscm_mean=np.asarray(analysis_result.mean),
+            sscm_std=np.asarray(analysis_result.std),
+            mc_runs=mc_result.num_runs,
+            sscm_runs=analysis_result.num_runs,
+            mc_time=mc_result.wall_time,
+            sscm_time=analysis_result.sscm.wall_time,
+            unit_scale=unit_scale,
+            unit_label=unit_label,
+        )
+
+    # ------------------------------------------------------------------
+    def mean_errors(self) -> np.ndarray:
+        """Relative SSCM-vs-MC mean error per QoI."""
+        denom = np.where(np.abs(self.mc_mean) > 0.0,
+                         np.abs(self.mc_mean), 1.0)
+        return np.abs(self.sscm_mean - self.mc_mean) / denom
+
+    def std_errors(self) -> np.ndarray:
+        """Relative SSCM-vs-MC std error per QoI."""
+        denom = np.where(np.abs(self.mc_std) > 0.0,
+                         np.abs(self.mc_std), 1.0)
+        return np.abs(self.sscm_std - self.mc_std) / denom
+
+    @property
+    def speedup(self) -> float:
+        """MC-to-SSCM run-count ratio (the paper's ~10x)."""
+        return self.mc_runs / max(self.sscm_runs, 1)
+
+    # ------------------------------------------------------------------
+    def render(self, title: str = "") -> str:
+        """ASCII rendering in the shape of the paper's tables."""
+        scale = self.unit_scale
+        unit = f" [{self.unit_label}]" if self.unit_label else ""
+        header = (f"{'quantity':<14}{'MC mean':>12}{'MC std':>12}"
+                  f"{'SSCM mean':>12}{'SSCM std':>12}"
+                  f"{'err mean':>10}{'err std':>10}")
+        lines = []
+        if title:
+            lines.append(title + unit)
+        lines.append(header)
+        lines.append("-" * len(header))
+        em = self.mean_errors()
+        es = self.std_errors()
+        for i, name in enumerate(self.names):
+            lines.append(
+                f"{name:<14}"
+                f"{self.mc_mean[i] / scale:>12.4f}"
+                f"{self.mc_std[i] / scale:>12.4f}"
+                f"{self.sscm_mean[i] / scale:>12.4f}"
+                f"{self.sscm_std[i] / scale:>12.4f}"
+                f"{100 * em[i]:>9.2f}%"
+                f"{100 * es[i]:>9.2f}%")
+        lines.append(
+            f"runs: MC={self.mc_runs}, SSCM={self.sscm_runs} "
+            f"(speedup {self.speedup:.1f}x); wall: MC={self.mc_time:.1f}s, "
+            f"SSCM={self.sscm_time:.1f}s")
+        return "\n".join(lines)

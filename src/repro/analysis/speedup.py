@@ -1,0 +1,33 @@
+"""Speedup accounting (the paper's "about 10X" claim)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Run-count and wall-time ratios of SSCM vs Monte Carlo."""
+
+    mc_runs: int
+    sscm_runs: int
+    mc_time: float
+    sscm_time: float
+    dim: int
+
+    @property
+    def run_ratio(self) -> float:
+        return self.mc_runs / max(self.sscm_runs, 1)
+
+    @property
+    def time_ratio(self) -> float:
+        if self.sscm_time <= 0.0:
+            return float("nan")
+        return self.mc_time / self.sscm_time
+
+    def render(self) -> str:
+        return (f"d={self.dim}: SSCM {self.sscm_runs} runs "
+                f"({self.sscm_time:.1f}s) vs MC {self.mc_runs} runs "
+                f"({self.mc_time:.1f}s) -> run speedup "
+                f"{self.run_ratio:.1f}x, time speedup "
+                f"{self.time_ratio:.1f}x")

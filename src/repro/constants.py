@@ -1,0 +1,46 @@
+"""Physical constants used throughout the solver.
+
+All constants are expressed in SI units.  The solver itself works in SI
+with geometry typically specified in metres (helpers in :mod:`repro.units`
+convert from the micrometre-scale dimensions quoted in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Vacuum permittivity [F/m].
+EPS0 = 8.8541878128e-12
+
+#: Vacuum permeability [H/m].
+MU0 = 4.0e-7 * math.pi
+
+#: Speed of light in vacuum [m/s].
+C0 = 1.0 / math.sqrt(EPS0 * MU0)
+
+#: Elementary charge [C].
+Q = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+KB = 1.380649e-23
+
+#: Default lattice temperature [K].
+T_ROOM = 300.0
+
+#: Thermal voltage kT/q at 300 K [V].
+VT_ROOM = KB * T_ROOM / Q
+
+#: Intrinsic carrier density of silicon at 300 K [1/m^3].
+#: The commonly used value 1.45e10 cm^-3 expressed in SI.
+NI_SILICON = 1.45e16
+
+
+def thermal_voltage(temperature: float = T_ROOM) -> float:
+    """Return the thermal voltage ``kT/q`` [V] at ``temperature`` [K].
+
+    >>> round(thermal_voltage(300.0), 6)
+    0.025852
+    """
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return KB * temperature / Q

@@ -1,0 +1,25 @@
+"""Discrete electromagnetic operators on the Cartesian FVM grid.
+
+Incidence matrices (gradient over links, curl over faces) and the
+material-weighted coefficient averaging that turns per-cell properties
+into per-link conductances — the discrete backbone of the paper's
+equations (1) and (3).
+"""
+
+from repro.em.topology import FaceSet, gradient_matrix, curl_matrix
+from repro.em.operators import (
+    link_weighted_coefficients,
+    link_material_areas,
+    cell_property_array,
+    scalar_laplacian,
+)
+
+__all__ = [
+    "FaceSet",
+    "gradient_matrix",
+    "curl_matrix",
+    "link_weighted_coefficients",
+    "link_material_areas",
+    "cell_property_array",
+    "scalar_laplacian",
+]

@@ -1,0 +1,145 @@
+"""Grid topology: gradient and curl incidence matrices.
+
+These are the metric-free building blocks of the discretization: the
+gradient matrix maps nodal potentials to link voltages, and the curl
+matrix maps link circulations to face fluxes.  The exactness identity
+``C @ G = 0`` (curl of a gradient vanishes) holds by construction and is
+asserted by the tests — it is what makes the A-V formulation consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import MeshError
+from repro.mesh.entities import LinkSet
+from repro.mesh.grid import CartesianGrid
+
+
+def gradient_matrix(links: LinkSet) -> sp.csr_matrix:
+    """Sparse ``(L, N)`` matrix with ``(G V)_l = V_b - V_a``."""
+    num_links = links.num_links
+    rows = np.repeat(np.arange(num_links), 2)
+    cols = np.empty(2 * num_links, dtype=int)
+    cols[0::2] = links.node_a
+    cols[1::2] = links.node_b
+    data = np.empty(2 * num_links, dtype=float)
+    data[0::2] = -1.0
+    data[1::2] = 1.0
+    return sp.csr_matrix((data, (rows, cols)),
+                         shape=(num_links, links.grid.num_nodes))
+
+
+def _flat(field_3d: np.ndarray) -> np.ndarray:
+    return np.transpose(field_3d, (2, 1, 0)).ravel()
+
+
+class FaceSet:
+    """All primal faces of the grid, grouped by normal axis.
+
+    Face ordering mirrors the link ordering: x-normal faces first, then
+    y, then z, each block flattened with the x index fastest.  A face
+    with normal ``a`` at lattice ``(i, j, k)`` spans the cell cross
+    section in the two transverse axes ``t1 < t2``: it covers nodes
+    ``(i, j..j+1, k..k+1)`` for ``a = 0`` and so on.
+    """
+
+    def __init__(self, grid: CartesianGrid):
+        self.grid = grid
+        nx, ny, nz = grid.shape
+        self.counts = [nx * (ny - 1) * (nz - 1),
+                       (nx - 1) * ny * (nz - 1),
+                       (nx - 1) * (ny - 1) * nz]
+        self.axis_offsets = np.array(
+            [0, self.counts[0], self.counts[0] + self.counts[1]], dtype=int)
+        self.num_faces = int(sum(self.counts))
+
+    def face_lattice_shape(self, axis: int) -> tuple:
+        if axis not in (0, 1, 2):
+            raise MeshError(f"axis must be 0, 1 or 2, got {axis}")
+        shape = list(self.grid.shape)
+        for other in range(3):
+            if other != axis:
+                shape[other] -= 1
+        return tuple(shape)
+
+    def face_loop_links(self, links: LinkSet, axis: int):
+        """The four boundary links of every ``axis``-normal face.
+
+        Returns ``(link_ids, signs)`` of shape ``(F_axis, 4)`` tracing
+        the closed loop: +t1 edge at t2-low, +t2 edge at t1-high,
+        -t1 edge at t2-high, -t2 edge at t1-low.  Any closed loop makes
+        ``C @ G = 0`` hold exactly.
+        """
+        t1, t2 = [a for a in range(3) if a != axis]
+        shape = self.face_lattice_shape(axis)
+        ranges = [np.arange(n) for n in shape]
+        I, J, K = np.meshgrid(*ranges, indexing="ij")
+        lattice = [I, J, K]
+
+        def link_ids_for(edge_axis, shift_axis, shift):
+            idx = [lattice[0], lattice[1], lattice[2]]
+            if shift:
+                idx = [c.copy() for c in idx]
+                idx[shift_axis] = idx[shift_axis] + 1
+            return _flat(links.link_id(edge_axis, idx[0], idx[1], idx[2]))
+
+        loop = np.stack([
+            link_ids_for(t1, t2, 0),   # +t1 at t2-low
+            link_ids_for(t2, t1, 1),   # +t2 at t1-high
+            link_ids_for(t1, t2, 1),   # -t1 at t2-high
+            link_ids_for(t2, t1, 0),   # -t2 at t1-low
+        ], axis=1)
+        signs = np.tile(np.array([1.0, 1.0, -1.0, -1.0]), (loop.shape[0], 1))
+        return loop, signs
+
+    def face_adjacent_cells(self, axis: int):
+        """Cells on the two sides of every ``axis``-normal face.
+
+        Returns ``(F_axis, 2)`` flat cell ids, ``-1`` on domain
+        boundaries; used to average the reluctivity onto faces.
+        """
+        shape = self.face_lattice_shape(axis)
+        cell_shape = self.grid.cell_shape
+        ranges = [np.arange(n) for n in shape]
+        I, J, K = np.meshgrid(*ranges, indexing="ij")
+        lattice = [I, J, K]
+        out = np.full((lattice[0].size, 2), -1, dtype=int)
+        for side, delta in enumerate((-1, 0)):
+            idx = [c.copy() for c in lattice]
+            idx[axis] = idx[axis] + delta
+            valid = (idx[axis] >= 0) & (idx[axis] < cell_shape[axis])
+            safe = [np.clip(c, 0, cell_shape[n] - 1)
+                    for n, c in enumerate(idx)]
+            ids = _flat(self.grid.cell_id(*safe))
+            out[_flat(valid), side] = ids[_flat(valid)]
+        return out
+
+
+def curl_matrix(grid: CartesianGrid, links: LinkSet,
+                faces: FaceSet = None) -> sp.csr_matrix:
+    """Sparse ``(F, L)`` circulation matrix: ``(C A)_f = sum +- A_l``.
+
+    Together with :func:`gradient_matrix` it satisfies ``C @ G = 0``.
+    Metric factors (edge lengths, face areas) are applied separately by
+    the Ampere assembler so the same topology serves perturbed grids.
+    """
+    if faces is None:
+        faces = FaceSet(grid)
+    rows_all = []
+    cols_all = []
+    data_all = []
+    offset = 0
+    for axis in range(3):
+        loop, signs = faces.face_loop_links(links, axis)
+        count = loop.shape[0]
+        rows = np.repeat(np.arange(offset, offset + count), 4)
+        rows_all.append(rows)
+        cols_all.append(loop.ravel())
+        data_all.append(signs.ravel())
+        offset += count
+    return sp.csr_matrix(
+        (np.concatenate(data_all),
+         (np.concatenate(rows_all), np.concatenate(cols_all))),
+        shape=(faces.num_faces, links.num_links))

@@ -1,0 +1,31 @@
+"""Preset experiment builders for the paper's Section IV studies.
+
+Examples, tests and the benchmark harness all build the same
+:class:`~repro.analysis.problem.VariationalProblem` instances from
+here, so the per-experiment configuration (sigma_G, sigma_M, eta,
+grouping) lives in exactly one place.
+"""
+
+from repro.experiments.table1 import (
+    Table1Config,
+    table1_problem,
+    TABLE1_PAPER_VALUES,
+)
+from repro.experiments.table2 import (
+    Table2Config,
+    table2_problem,
+    TABLE2_PAPER_VALUES,
+    TABLE2_CONTACTS,
+    TABLE2_ROW_NAMES,
+)
+
+__all__ = [
+    "Table1Config",
+    "table1_problem",
+    "TABLE1_PAPER_VALUES",
+    "Table2Config",
+    "table2_problem",
+    "TABLE2_PAPER_VALUES",
+    "TABLE2_CONTACTS",
+    "TABLE2_ROW_NAMES",
+]

@@ -1,0 +1,90 @@
+"""Experiment preset for Table II (Section IV.B).
+
+Two TSVs through a silicon substrate with four surrounding wires; QoI =
+the TSV1 column of the Maxwell capacitance matrix:
+C_T1 (self), C_T1T2 (TSV-TSV coupling) and C_T1W1..C_T1W4 (TSV-wire
+couplings).
+
+Paper parameters: lateral-wall roughness in 8 facet groups with the
+coplanar y-walls of the two TSVs merged (2 groups of 128 nodes + 4 of
+64), 10 % RDF on 128 substrate nodes with eta = 0.5 um; wPFA reduces
+128 -> 6 and 64 -> 4 giving d = 34 and 2415 sparse-grid runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.problem import VariationalProblem
+from repro.analysis.qoi import capacitance_column_qoi
+from repro.geometry.builders import TsvDesign, build_tsv_structure
+from repro.units import um
+from repro.variation.groups import doping_group, geometry_groups_from_facets
+
+#: Table II of the paper [1e-15 F]: (mean, std) per capacitance entry.
+TABLE2_PAPER_VALUES = {
+    "C_T1": {"mean": 7.0567, "std": 0.8514},
+    "C_T1T2": {"mean": -1.9691, "std": 0.4782},
+    "C_T1W1": {"mean": -1.6275, "std": 0.3984},
+    "C_T1W2": {"mean": -0.0152, "std": 0.00217},
+    "C_T1W3": {"mean": -1.8313, "std": 0.1609},
+    "C_T1W4": {"mean": -1.8310, "std": 0.1589},
+}
+
+#: Contact order of the reported column.
+TABLE2_CONTACTS = ("tsv1", "tsv2", "w1", "w2", "w3", "w4")
+TABLE2_ROW_NAMES = ("C_T1", "C_T1T2", "C_T1W1", "C_T1W2", "C_T1W3",
+                    "C_T1W4")
+
+
+@dataclass(frozen=True)
+class Table2Config:
+    """Tunable parameters of the Table II experiment.
+
+    The paper quantifies the RDF as a 10 % perturbation with
+    eta = 0.5 um but does *not* state sigma_G for the TSV lateral-wall
+    roughness.  The default here is 0.15 um — a typical DRIE scallop
+    amplitude — chosen so that 3-sigma perturbations stay well inside
+    the 1 um wire-to-TSV gap; at 0.5 um (the example-A value) the
+    capacitance's 1/gap singularity enters the collocation range and no
+    quadratic model (the paper's included) could represent it.
+    """
+
+    sigma_g: float = um(0.15)
+    eta_g: float = um(0.7)
+    sigma_m: float = 0.1
+    eta_m: float = um(0.5)
+    rdf_nodes: int = 128
+    frequency: float = 1.0e9
+    design: TsvDesign = field(default_factory=TsvDesign)
+    surface_model: str = "csv"
+    merge_coplanar: bool = True
+
+
+def table2_problem(config: Table2Config = None) -> VariationalProblem:
+    """Build the Table II problem (roughness + RDF combined)."""
+    if config is None:
+        config = Table2Config()
+    design = config.design
+    structure = build_tsv_structure(design)
+
+    geometry_groups = geometry_groups_from_facets(
+        structure.grid, design.lateral_facets(),
+        sigma=config.sigma_g, eta=config.eta_g,
+        merge_coplanar=config.merge_coplanar)
+    rdf_group = doping_group(structure, sigma_rel=config.sigma_m,
+                             eta=config.eta_m,
+                             max_nodes=config.rdf_nodes)
+
+    excitations = {name: (1.0 if name == "tsv1" else 0.0)
+                   for name in TABLE2_CONTACTS}
+    return VariationalProblem(
+        structure=structure,
+        frequency=config.frequency,
+        excitations=excitations,
+        qoi=capacitance_column_qoi("tsv1", list(TABLE2_CONTACTS)),
+        qoi_names=list(TABLE2_ROW_NAMES),
+        geometry_groups=geometry_groups,
+        doping_group=rdf_group,
+        surface_model=config.surface_model,
+    )

@@ -1,0 +1,30 @@
+"""Post-processing: the quantities the paper's tables report.
+
+* interface / port currents (Table I's J through the
+  metal-semiconductor interface);
+* Maxwell capacitance matrix entries by Gauss-flux charge integration
+  (Table II's C_T1, C_T1T2, C_T1Wk);
+* field cross-sections (Fig. 2b).
+"""
+
+from repro.extraction.current import (
+    port_current,
+    node_set_outflow,
+    metal_semiconductor_current,
+)
+from repro.extraction.capacitance import (
+    conductor_labels,
+    conductor_charge,
+    capacitance_column,
+)
+from repro.extraction.field import potential_cross_section
+
+__all__ = [
+    "port_current",
+    "node_set_outflow",
+    "metal_semiconductor_current",
+    "conductor_labels",
+    "conductor_charge",
+    "capacitance_column",
+    "potential_cross_section",
+]

@@ -1,0 +1,35 @@
+"""Structure definition: material regions on a Cartesian grid.
+
+A :class:`~repro.geometry.structure.Structure` couples a grid with a
+per-cell material map, named contacts (port node sets) and a doping
+profile.  :mod:`repro.geometry.builders` assembles the paper's two test
+structures: the metal-plug-on-silicon example (Fig. 2a) and the two-TSV
+example (Fig. 3).
+"""
+
+from repro.geometry.shapes import Box
+from repro.geometry.structure import Structure, NodeKindTable
+from repro.geometry.interfaces import (
+    facet_nodes,
+    interface_links,
+    metal_semiconductor_interface_nodes,
+)
+from repro.geometry.builders import (
+    MetalPlugDesign,
+    TsvDesign,
+    build_metalplug_structure,
+    build_tsv_structure,
+)
+
+__all__ = [
+    "Box",
+    "Structure",
+    "NodeKindTable",
+    "facet_nodes",
+    "interface_links",
+    "metal_semiconductor_interface_nodes",
+    "MetalPlugDesign",
+    "TsvDesign",
+    "build_metalplug_structure",
+    "build_tsv_structure",
+]

@@ -1,0 +1,350 @@
+"""The paper's two test structures.
+
+* :func:`build_metalplug_structure` — Section IV.A / Fig. 2(a): two
+  3x3x5 um metal plugs sitting on a 10x10x10 um doped-silicon block.
+* :func:`build_tsv_structure` — Section IV.B / Fig. 3: two 5x5 um,
+  20 um tall TSVs through a 5 um silicon substrate with two 2 um metal
+  trace layers (wires W1..W4, width 1 um, height 2 um, pitch 2 um).
+
+Both builders accept a design dataclass so tests, examples and
+benchmarks can trade resolution for runtime; all dimensions are metres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.interfaces import facet_nodes
+from repro.geometry.shapes import Box
+from repro.geometry.structure import Structure
+from repro.materials.library import (
+    copper,
+    doped_silicon,
+    silicon_dioxide,
+    tungsten,
+)
+from repro.mesh.grid import CartesianGrid
+from repro.mesh.refine import axis_from_breakpoints
+from repro.units import um
+
+
+@dataclass(frozen=True)
+class FacetSpec:
+    """One perturbable interface facet.
+
+    Attributes
+    ----------
+    name:
+        Identifier used for perturbation grouping (e.g. ``tsv1_x-``).
+    axis:
+        The facet normal axis (nodes are displaced along it).
+    coordinate:
+        Nominal position of the facet plane [m].
+    lo, hi:
+        Bounding box of the facet patch (the ``axis`` components equal
+        ``coordinate``).
+    inward:
+        Unit sign: displacing a node by ``+inward`` moves it *into* the
+        region the facet bounds (used to orient roughness if needed).
+    """
+
+    name: str
+    axis: int
+    coordinate: float
+    lo: tuple
+    hi: tuple
+    inward: int
+
+    def node_ids(self, grid: CartesianGrid) -> np.ndarray:
+        """Flat ids of the facet's nodes on ``grid``."""
+        return facet_nodes(grid, self.axis, self.coordinate,
+                           lo=self.lo, hi=self.hi)
+
+
+# ----------------------------------------------------------------------
+# Example A: metal plugs on doped silicon
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetalPlugDesign:
+    """Parameters of the metal-plug structure (defaults match Fig. 2a)."""
+
+    silicon_size: tuple = (um(10.0), um(10.0), um(10.0))
+    plug_footprint: tuple = (um(3.0), um(3.0))
+    plug_height: float = um(5.0)
+    plug1_x: float = um(1.0)      # left edge of plug 1
+    plug2_x: float = um(6.0)      # left edge of plug 2
+    plug_y: float = um(3.5)       # front edge of both plugs
+    net_doping: float = 1.0e21    # n-type 1e15 cm^-3 substrate
+    max_step: float = um(1.0)
+
+    @property
+    def interface_z(self) -> float:
+        """Height of the metal-semiconductor interface plane."""
+        return self.silicon_size[2]
+
+    @property
+    def domain_hi(self) -> tuple:
+        sx, sy, sz = self.silicon_size
+        return (sx, sy, sz + self.plug_height)
+
+    def plug_boxes(self) -> list:
+        """Boxes of the two plugs (on top of the silicon block)."""
+        wx, wy = self.plug_footprint
+        z0 = self.interface_z
+        z1 = z0 + self.plug_height
+        return [
+            Box((self.plug1_x, self.plug_y, z0),
+                (self.plug1_x + wx, self.plug_y + wy, z1)),
+            Box((self.plug2_x, self.plug_y, z0),
+                (self.plug2_x + wx, self.plug_y + wy, z1)),
+        ]
+
+    def interface_facets(self) -> list:
+        """The two rough metal-semiconductor interface patches.
+
+        These are the facets that carry the sigma_G = 0.5 um surface
+        roughness in Table I (normal = z, the plug axis).
+        """
+        facets = []
+        for idx, box in enumerate(self.plug_boxes(), start=1):
+            lo = (box.lo[0], box.lo[1], self.interface_z)
+            hi = (box.hi[0], box.hi[1], self.interface_z)
+            facets.append(FacetSpec(
+                name=f"plug{idx}_interface",
+                axis=2,
+                coordinate=self.interface_z,
+                lo=lo,
+                hi=hi,
+                inward=-1,
+            ))
+        return facets
+
+    def silicon_box(self) -> Box:
+        return Box((0.0, 0.0, 0.0), self.silicon_size)
+
+
+def build_metalplug_structure(design: MetalPlugDesign = None) -> Structure:
+    """Assemble the Fig. 2(a) structure.
+
+    Contacts: ``plug1`` and ``plug2`` on the plug top faces; the silicon
+    block bottom is left floating (natural boundary), so at 1 GHz the
+    AC current driven into ``plug1`` returns through ``plug2`` across
+    the two metal-semiconductor interfaces, as in Table I.
+    """
+    if design is None:
+        design = MetalPlugDesign()
+    plug_boxes = design.plug_boxes()
+    silicon = design.silicon_box()
+
+    bps_x = {0.0, design.domain_hi[0]}
+    bps_y = {0.0, design.domain_hi[1]}
+    bps_z = {0.0, design.interface_z, design.domain_hi[2]}
+    for box in plug_boxes:
+        bps_x.update(box.breakpoints(0))
+        bps_y.update(box.breakpoints(1))
+        bps_z.update(box.breakpoints(2))
+
+    grid = CartesianGrid(
+        axis_from_breakpoints(sorted(bps_x), design.max_step),
+        axis_from_breakpoints(sorted(bps_y), design.max_step),
+        axis_from_breakpoints(sorted(bps_z), design.max_step),
+    )
+    structure = Structure(grid, background=silicon_dioxide("ild"))
+    structure.add_box(doped_silicon(design.net_doping), silicon)
+    metal = tungsten("plug_metal")
+    for idx, box in enumerate(plug_boxes, start=1):
+        structure.add_box(metal, box)
+        structure.add_contact_on_box_face(f"plug{idx}", box, "z+")
+    return structure
+
+
+# ----------------------------------------------------------------------
+# Example B: two TSVs with metal traces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TsvDesign:
+    """Parameters of the TSV structure (defaults match Fig. 3).
+
+    Geometry (z up): TSVs span the full 20 um height; the 5 um silicon
+    substrate sits mid-stack; two 2 um trace layers hold wires W1/W2
+    (bottom) and W3/W4 (top).  W1 flanks TSV1, W2 flanks TSV2 (hence the
+    ~100x smaller C_T1W2 of Table II), and W3/W4 flank TSV1 symmetrically
+    (hence C_T1W3 ~ C_T1W4).
+    """
+
+    tsv_cross_section: float = um(5.0)
+    tsv_height: float = um(20.0)
+    tsv_pitch: float = um(10.0)          # edge-to-edge gap between TSVs
+    substrate_thickness: float = um(5.0)
+    metal_layer_thickness: float = um(2.0)
+    wire_width: float = um(1.0)
+    wire_gap: float = um(1.0)            # gap between wire and TSV wall
+    liner_thickness: float = um(0.5)
+    net_doping: float = -1.0e21          # p-type 1e15 cm^-3 substrate
+    margin: float = um(3.0)              # dielectric margin around TSVs
+    max_step: float = um(1.0)
+
+    @property
+    def tsv1_x(self) -> float:
+        return self.margin + self.wire_width + self.wire_gap
+
+    @property
+    def tsv2_x(self) -> float:
+        return self.tsv1_x + self.tsv_cross_section + self.tsv_pitch
+
+    @property
+    def tsv_y(self) -> float:
+        return self.margin
+
+    @property
+    def domain_hi(self) -> tuple:
+        w = self.tsv_cross_section
+        x1 = self.tsv2_x + w + self.wire_gap + self.wire_width + self.margin
+        y1 = self.tsv_y + w + self.margin
+        return (x1, y1, self.tsv_height)
+
+    @property
+    def substrate_z(self) -> tuple:
+        """(z0, z1) of the silicon slab, centred in the stack."""
+        z0 = 0.3 * self.tsv_height
+        return (z0, z0 + self.substrate_thickness)
+
+    @property
+    def bottom_layer_z(self) -> tuple:
+        return (um(2.0), um(2.0) + self.metal_layer_thickness)
+
+    @property
+    def top_layer_z(self) -> tuple:
+        z1 = self.tsv_height - um(5.0)
+        return (z1, z1 + self.metal_layer_thickness)
+
+    def tsv_boxes(self) -> list:
+        w = self.tsv_cross_section
+        return [
+            Box((self.tsv1_x, self.tsv_y, 0.0),
+                (self.tsv1_x + w, self.tsv_y + w, self.tsv_height)),
+            Box((self.tsv2_x, self.tsv_y, 0.0),
+                (self.tsv2_x + w, self.tsv_y + w, self.tsv_height)),
+        ]
+
+    def liner_boxes(self) -> list:
+        """Oxide liner: TSV boxes dilated laterally inside the substrate."""
+        t = self.liner_thickness
+        z0, z1 = self.substrate_z
+        boxes = []
+        for tsv in self.tsv_boxes():
+            boxes.append(Box(
+                (tsv.lo[0] - t, tsv.lo[1] - t, z0),
+                (tsv.hi[0] + t, tsv.hi[1] + t, z1)))
+        return boxes
+
+    def wire_boxes(self) -> dict:
+        """Named wire boxes W1..W4 (full-depth traces along y)."""
+        w = self.wire_width
+        y0, y1 = 0.0, self.domain_hi[1]
+        zb = self.bottom_layer_z
+        zt = self.top_layer_z
+        t1 = self.tsv_boxes()[0]
+        t2 = self.tsv_boxes()[1]
+        return {
+            "w1": Box((t1.lo[0] - self.wire_gap - w, y0, zb[0]),
+                      (t1.lo[0] - self.wire_gap, y1, zb[1])),
+            "w2": Box((t2.hi[0] + self.wire_gap, y0, zb[0]),
+                      (t2.hi[0] + self.wire_gap + w, y1, zb[1])),
+            "w3": Box((t1.lo[0] - self.wire_gap - w, y0, zt[0]),
+                      (t1.lo[0] - self.wire_gap, y1, zt[1])),
+            "w4": Box((t1.hi[0] + self.wire_gap, y0, zt[0]),
+                      (t1.hi[0] + self.wire_gap + w, y1, zt[1])),
+        }
+
+    def substrate_box(self) -> Box:
+        z0, z1 = self.substrate_z
+        x1, y1, _ = self.domain_hi
+        return Box((0.0, 0.0, z0), (x1, y1, z1))
+
+    def lateral_facets(self) -> list:
+        """The 8 perturbable TSV lateral-wall facets (Section IV.B).
+
+        Four facets per TSV; the roughness grouping merges the coplanar
+        y-facets of the two TSVs into two large groups (see
+        :func:`repro.variation.groups.merge_coplanar_facets`).
+        """
+        facets = []
+        for idx, box in enumerate(self.tsv_boxes(), start=1):
+            name = f"tsv{idx}"
+            specs = [
+                (f"{name}_x-", 0, box.lo[0], +1),
+                (f"{name}_x+", 0, box.hi[0], -1),
+                (f"{name}_y-", 1, box.lo[1], +1),
+                (f"{name}_y+", 1, box.hi[1], -1),
+            ]
+            for fname, axis, coordinate, inward in specs:
+                lo = list(box.lo)
+                hi = list(box.hi)
+                lo[axis] = coordinate
+                hi[axis] = coordinate
+                facets.append(FacetSpec(
+                    name=fname,
+                    axis=axis,
+                    coordinate=coordinate,
+                    lo=tuple(lo),
+                    hi=tuple(hi),
+                    inward=inward,
+                ))
+        return facets
+
+
+def build_tsv_structure(design: TsvDesign = None) -> Structure:
+    """Assemble the Fig. 3 structure.
+
+    Paint order matters: substrate first, then the oxide liners, then
+    the TSV metal (which overrides the liner core), then the wires.
+    Contacts: ``tsv1``/``tsv2`` on the TSV top faces, ``w1``..``w4`` on
+    the wire ends at y = 0.
+    """
+    if design is None:
+        design = TsvDesign()
+    tsv_boxes = design.tsv_boxes()
+    liner_boxes = design.liner_boxes()
+    wire_boxes = design.wire_boxes()
+    substrate = design.substrate_box()
+
+    boxes = tsv_boxes + liner_boxes + list(wire_boxes.values()) + [substrate]
+    bps = [
+        {0.0, design.domain_hi[0]},
+        {0.0, design.domain_hi[1]},
+        {0.0, design.domain_hi[2]},
+    ]
+    for box in boxes:
+        for axis in range(3):
+            bps[axis].update(box.breakpoints(axis))
+    for axis in range(3):
+        hi = design.domain_hi[axis]
+        bad = [b for b in bps[axis] if b < -1e-12 or b > hi + 1e-12]
+        if bad:
+            raise GeometryError(
+                f"design produces breakpoints outside the domain on axis "
+                f"{axis}: {bad}")
+
+    grid = CartesianGrid(
+        axis_from_breakpoints(sorted(bps[0]), design.max_step),
+        axis_from_breakpoints(sorted(bps[1]), design.max_step),
+        axis_from_breakpoints(sorted(bps[2]), design.max_step),
+    )
+    structure = Structure(grid, background=silicon_dioxide("imd"))
+    structure.add_box(doped_silicon(design.net_doping), substrate)
+    liner = silicon_dioxide("liner")
+    for box in liner_boxes:
+        structure.add_box(liner, box)
+    metal = copper("tsv_metal")
+    for idx, box in enumerate(tsv_boxes, start=1):
+        structure.add_box(metal, box)
+        structure.add_contact_on_box_face(f"tsv{idx}", box, "z+")
+    wire_metal = copper("wire_metal")
+    for name, box in wire_boxes.items():
+        structure.add_box(wire_metal, box)
+        structure.add_contact_on_box_face(name, box, "y-")
+    return structure

@@ -1,0 +1,92 @@
+"""Material-interface discovery.
+
+The stochastic surface-roughness models need the node sets lying on
+metal/semiconductor or metal/insulator interfaces (those are the nodes
+the CSV model perturbs), and the current extractor needs the dual faces
+crossing an interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.structure import Structure
+from repro.mesh.entities import LinkSet
+from repro.mesh.grid import CartesianGrid
+
+
+def facet_nodes(grid: CartesianGrid, axis: int, coordinate: float,
+                lo=None, hi=None, tol: float = None) -> np.ndarray:
+    """Flat ids of nodes on the plane ``axis = coordinate``.
+
+    Optionally restricted to the axis-aligned rectangle ``[lo, hi]`` in
+    the other two coordinates (pass full 3-vectors; the ``axis``
+    component is ignored).
+    """
+    if axis not in (0, 1, 2):
+        raise GeometryError(f"axis must be 0, 1 or 2, got {axis}")
+    coords = grid.node_coords()
+    if tol is None:
+        span = coords[:, axis].max() - coords[:, axis].min()
+        tol = 1e-9 * max(span, 1.0e-12)
+    mask = np.abs(coords[:, axis] - coordinate) <= tol
+    if lo is not None and hi is not None:
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        for other in range(3):
+            if other == axis:
+                continue
+            mask &= (coords[:, other] >= lo[other] - tol)
+            mask &= (coords[:, other] <= hi[other] + tol)
+    ids = np.nonzero(mask)[0]
+    if ids.size == 0:
+        raise GeometryError(
+            f"no nodes found on plane axis={axis} at {coordinate}")
+    return ids
+
+
+def metal_semiconductor_interface_nodes(structure: Structure) -> np.ndarray:
+    """Flat ids of all ohmic-contact nodes (metal touching semiconductor)."""
+    kinds = structure.node_kinds()
+    ids = np.nonzero(kinds.ohmic_contact)[0]
+    if ids.size == 0:
+        raise GeometryError(
+            "structure has no metal-semiconductor interface")
+    return ids
+
+
+def interface_links(structure: Structure, links: LinkSet,
+                    from_mask: np.ndarray,
+                    to_mask: np.ndarray) -> tuple:
+    """Links crossing from one node class to another.
+
+    Parameters
+    ----------
+    structure:
+        The structure (for grid sizes only).
+    links:
+        Canonical link enumeration of the structure's grid.
+    from_mask, to_mask:
+        Per-node boolean masks.
+
+    Returns
+    -------
+    (link_ids, orientation):
+        ``link_ids`` are canonical link ids whose endpoints straddle the
+        two classes; ``orientation`` is ``+1`` when ``node_a`` is in
+        ``from_mask`` (flux along the link leaves the *from* side) and
+        ``-1`` otherwise.
+    """
+    from_mask = np.asarray(from_mask, dtype=bool)
+    to_mask = np.asarray(to_mask, dtype=bool)
+    n = structure.grid.num_nodes
+    if from_mask.shape != (n,) or to_mask.shape != (n,):
+        raise GeometryError("masks must be per-node boolean arrays")
+    a_from = from_mask[links.node_a] & to_mask[links.node_b]
+    b_from = from_mask[links.node_b] & to_mask[links.node_a]
+    link_ids = np.nonzero(a_from | b_from)[0]
+    orientation = np.where(a_from[link_ids], 1, -1)
+    if link_ids.size == 0:
+        raise GeometryError("no links cross the requested interface")
+    return link_ids, orientation

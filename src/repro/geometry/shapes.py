@@ -1,0 +1,85 @@
+"""Axis-aligned geometric primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box ``[lo, hi]`` in metres.
+
+    The only primitive the Cartesian FVM needs: every material region of
+    the paper's structures is a union of boxes aligned with grid lines.
+    """
+
+    lo: tuple
+    hi: tuple
+
+    def __post_init__(self) -> None:
+        lo = tuple(float(v) for v in self.lo)
+        hi = tuple(float(v) for v in self.hi)
+        if len(lo) != 3 or len(hi) != 3:
+            raise GeometryError("Box corners must be 3-vectors")
+        if any(h <= l for l, h in zip(lo, hi)):
+            raise GeometryError(
+                f"Box must have positive extent in every axis: "
+                f"lo={lo}, hi={hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @property
+    def size(self) -> tuple:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def center(self) -> tuple:
+        return tuple(0.5 * (l + h) for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> float:
+        sx, sy, sz = self.size
+        return sx * sy * sz
+
+    def contains(self, points: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        """Boolean mask of which ``(N, 3)`` points lie inside the box."""
+        points = np.asarray(points, dtype=float)
+        lo = np.asarray(self.lo) - tol
+        hi = np.asarray(self.hi) + tol
+        return np.all((points >= lo) & (points <= hi), axis=1)
+
+    def overlaps(self, other: "Box") -> bool:
+        """True when the interiors of the two boxes intersect."""
+        return all(l1 < h2 and l2 < h1 for (l1, h1, l2, h2)
+                   in zip(self.lo, self.hi, other.lo, other.hi))
+
+    def breakpoints(self, axis: int) -> tuple:
+        """The two coordinates this box contributes to an axis."""
+        if axis not in (0, 1, 2):
+            raise GeometryError(f"axis must be 0, 1 or 2, got {axis}")
+        return (self.lo[axis], self.hi[axis])
+
+    def face_box(self, face: str, thickness: float = 0.0) -> "Box":
+        """A degenerate-thickness box covering one face, for node picking.
+
+        ``face`` is one of ``x-``, ``x+``, ``y-``, ``y+``, ``z-``, ``z+``.
+        The returned box spans the face and extends ``thickness`` away
+        from the box on both sides (useful with a small tolerance).
+        """
+        axis_map = {"x": 0, "y": 1, "z": 2}
+        if len(face) != 2 or face[0] not in axis_map or face[1] not in "+-":
+            raise GeometryError(f"bad face spec {face!r}")
+        axis = axis_map[face[0]]
+        lo = list(self.lo)
+        hi = list(self.hi)
+        plane = self.hi[axis] if face[1] == "+" else self.lo[axis]
+        # A literal zero thickness would be absorbed by floating-point
+        # addition; use a sliver relative to the box scale instead.
+        sliver = max(thickness, 1e-12 * max(*self.size, abs(plane)))
+        lo[axis] = plane - sliver
+        hi[axis] = plane + sliver
+        return Box(tuple(lo), tuple(hi))

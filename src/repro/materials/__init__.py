@@ -1,0 +1,63 @@
+"""Material models: metals, insulators and doped semiconductors.
+
+These provide the coefficients of the paper's equations (1)-(3):
+conductivity ``sigma_c``, relative permittivity ``eps_r``, relative
+permeability ``mu_r``, and for semiconductors the carrier transport
+parameters (mobilities, lifetimes, intrinsic density, doping).
+"""
+
+from repro.materials.material import (
+    Material,
+    Metal,
+    Insulator,
+    Semiconductor,
+    MaterialKind,
+)
+from repro.materials.library import (
+    copper,
+    tungsten,
+    aluminum,
+    silicon_dioxide,
+    silicon_nitride,
+    vacuum,
+    doped_silicon,
+)
+from repro.materials.doping import (
+    DopingProfile,
+    UniformDoping,
+    GaussianDoping,
+    NodePerturbedDoping,
+)
+from repro.materials.physics import (
+    intrinsic_density,
+    mobility_caughey_thomas,
+    srh_recombination,
+    srh_derivatives,
+    equilibrium_potential,
+    equilibrium_carriers,
+)
+
+__all__ = [
+    "Material",
+    "Metal",
+    "Insulator",
+    "Semiconductor",
+    "MaterialKind",
+    "copper",
+    "tungsten",
+    "aluminum",
+    "silicon_dioxide",
+    "silicon_nitride",
+    "vacuum",
+    "doped_silicon",
+    "DopingProfile",
+    "UniformDoping",
+    "GaussianDoping",
+    "NodePerturbedDoping",
+    "intrinsic_density",
+    "mobility_caughey_thomas",
+    "srh_recombination",
+    "srh_derivatives",
+    "equilibrium_potential",
+    "equilibrium_carriers",
+]

@@ -1,0 +1,137 @@
+"""Doping profiles.
+
+The paper's examples use a *uniformly distributed* doping profile whose
+node values are then perturbed by the random-doping-fluctuation (RDF)
+model (a 10 % multivariate-Gaussian perturbation with correlation length
+eta = 0.5 um).  :class:`NodePerturbedDoping` is the deterministic carrier
+of one such perturbed sample: the stochastic machinery in
+:mod:`repro.variation.doping_variation` produces the per-node multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MaterialError
+
+
+class DopingProfile:
+    """Net-doping field ``Nd(r) - Na(r)`` evaluated at node coordinates.
+
+    Subclasses implement :meth:`net_doping`; the convention is that a
+    positive value means donor-dominated (n-type) material.
+    """
+
+    def net_doping(self, coords: np.ndarray) -> np.ndarray:
+        """Return net doping [1/m^3] for an ``(N, 3)`` coordinate array."""
+        raise NotImplementedError
+
+    def total_doping(self, coords: np.ndarray) -> np.ndarray:
+        """Return total ionized doping ``Nd + Na`` (for mobility models).
+
+        The default assumes single-species doping, i.e. ``|Nd - Na|``.
+        """
+        return np.abs(self.net_doping(coords))
+
+
+@dataclass(frozen=True)
+class UniformDoping(DopingProfile):
+    """Spatially uniform net doping (the paper's nominal profile)."""
+
+    net: float
+
+    def net_doping(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise MaterialError("coords must have shape (N, 3)")
+        return np.full(coords.shape[0], self.net, dtype=float)
+
+
+@dataclass(frozen=True)
+class GaussianDoping(DopingProfile):
+    """Gaussian implant profile: a peak decaying along one axis.
+
+    ``N(r) = background + peak * exp(-((r_axis - center)/sigma)^2)``
+
+    Useful for building junction examples that exercise the nonlinear
+    Poisson solver away from flat-band conditions.
+    """
+
+    background: float
+    peak: float
+    axis: int
+    center: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.axis not in (0, 1, 2):
+            raise MaterialError(f"axis must be 0, 1 or 2, got {self.axis}")
+        if self.sigma <= 0.0:
+            raise MaterialError("sigma must be positive")
+
+    def net_doping(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise MaterialError("coords must have shape (N, 3)")
+        x = coords[:, self.axis]
+        arg = ((x - self.center) / self.sigma) ** 2
+        return self.background + self.peak * np.exp(-arg)
+
+
+class NodePerturbedDoping(DopingProfile):
+    """A base profile multiplied by per-node factors (one RDF sample).
+
+    Parameters
+    ----------
+    base:
+        The nominal profile.
+    node_ids:
+        Flat node indices (into the structure's node array) that carry a
+        perturbation.
+    multipliers:
+        Multiplicative factor per perturbed node, e.g. ``1 + xi`` with
+        ``xi ~ N(0, 0.1^2)`` for the paper's 10 % RDF.
+    num_nodes:
+        Total number of nodes in the grid (for validation).
+    """
+
+    def __init__(self, base: DopingProfile, node_ids: np.ndarray,
+                 multipliers: np.ndarray, num_nodes: int):
+        node_ids = np.asarray(node_ids, dtype=int)
+        multipliers = np.asarray(multipliers, dtype=float)
+        if node_ids.ndim != 1 or multipliers.ndim != 1:
+            raise MaterialError("node_ids and multipliers must be 1-D")
+        if node_ids.shape != multipliers.shape:
+            raise MaterialError(
+                f"node_ids ({node_ids.shape}) and multipliers "
+                f"({multipliers.shape}) must have the same length")
+        if node_ids.size and (node_ids.min() < 0
+                              or node_ids.max() >= num_nodes):
+            raise MaterialError("node_ids out of range")
+        if np.any(multipliers < 0.0):
+            raise MaterialError(
+                "doping multipliers must be non-negative; the RDF model "
+                "should clip extreme samples before building the profile")
+        self.base = base
+        self.node_ids = node_ids
+        self.multipliers = multipliers
+        self.num_nodes = num_nodes
+
+    def _factors(self, count: int) -> np.ndarray:
+        factors = np.ones(count, dtype=float)
+        factors[self.node_ids] = self.multipliers
+        return factors
+
+    def net_doping(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.asarray(coords, dtype=float)
+        if coords.shape[0] != self.num_nodes:
+            raise MaterialError(
+                f"expected coords for all {self.num_nodes} nodes, "
+                f"got {coords.shape[0]}")
+        return self.base.net_doping(coords) * self._factors(coords.shape[0])
+
+    def total_doping(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.asarray(coords, dtype=float)
+        return self.base.total_doping(coords) * self._factors(coords.shape[0])

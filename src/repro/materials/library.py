@@ -1,0 +1,66 @@
+"""Standard material definitions.
+
+Factory functions (rather than module-level singletons) so that examples
+can tweak parameters without mutating shared state; materials themselves
+are frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+from repro.materials.material import Insulator, Metal, Semiconductor
+
+
+def copper(name: str = "copper") -> Metal:
+    """Copper: the usual TSV fill metal."""
+    return Metal(name=name, eps_r=1.0, sigma=5.8e7)
+
+
+def tungsten(name: str = "tungsten") -> Metal:
+    """Tungsten: common for via plugs and contacts."""
+    return Metal(name=name, eps_r=1.0, sigma=1.79e7)
+
+
+def aluminum(name: str = "aluminum") -> Metal:
+    """Aluminum: legacy interconnect metal."""
+    return Metal(name=name, eps_r=1.0, sigma=3.5e7)
+
+
+def silicon_dioxide(name: str = "sio2") -> Insulator:
+    """Thermal SiO2 (TSV liner / inter-layer dielectric)."""
+    return Insulator(name=name, eps_r=3.9, sigma=0.0)
+
+
+def silicon_nitride(name: str = "si3n4") -> Insulator:
+    """Silicon nitride passivation."""
+    return Insulator(name=name, eps_r=7.5, sigma=0.0)
+
+
+def vacuum(name: str = "vacuum") -> Insulator:
+    """Free space (also a reasonable stand-in for air)."""
+    return Insulator(name=name, eps_r=1.0, sigma=0.0)
+
+
+def doped_silicon(net_doping: float, name: str = "silicon",
+                  tau: float = 1.0e-6) -> Semiconductor:
+    """Silicon with a uniform background doping.
+
+    Parameters
+    ----------
+    net_doping:
+        ``Nd - Na`` [1/m^3]; positive for n-type, negative for p-type.
+    name:
+        Material name.
+    tau:
+        SRH lifetime used for both carriers [s].
+    """
+    donors = max(net_doping, 0.0)
+    acceptors = max(-net_doping, 0.0)
+    return Semiconductor(
+        name=name,
+        eps_r=11.7,
+        sigma=0.0,
+        donor_density=donors,
+        acceptor_density=acceptors,
+        tau_n=tau,
+        tau_p=tau,
+    )

@@ -1,0 +1,194 @@
+"""Material dataclasses.
+
+The coupled A-V solver distinguishes three material kinds, each selecting a
+different governing equation for the scalar potential (paper eq. 1):
+
+* **metal** — current continuity ``div((sigma + j w eps) grad V) = 0``;
+* **insulator** — Gauss's law ``div(eps grad V) = 0``;
+* **semiconductor** — Gauss's law with free charge
+  ``div(eps grad V) + rho = 0`` plus the drift-diffusion system (eq. 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.constants import EPS0, NI_SILICON, T_ROOM
+from repro.errors import MaterialError
+
+
+class MaterialKind(enum.Enum):
+    """Which governing equation a region obeys."""
+
+    METAL = "metal"
+    INSULATOR = "insulator"
+    SEMICONDUCTOR = "semiconductor"
+
+
+@dataclass(frozen=True)
+class Material:
+    """Base electromagnetic material.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, unique within a structure.
+    eps_r:
+        Relative permittivity (dimensionless, > 0).
+    sigma:
+        Electrical conductivity [S/m] (>= 0).
+    mu_r:
+        Relative permeability (dimensionless, > 0).
+    """
+
+    name: str
+    eps_r: float
+    sigma: float = 0.0
+    mu_r: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MaterialError("material name must be non-empty")
+        if self.eps_r <= 0.0:
+            raise MaterialError(
+                f"{self.name}: eps_r must be positive, got {self.eps_r}")
+        if self.sigma < 0.0:
+            raise MaterialError(
+                f"{self.name}: sigma must be non-negative, got {self.sigma}")
+        if self.mu_r <= 0.0:
+            raise MaterialError(
+                f"{self.name}: mu_r must be positive, got {self.mu_r}")
+
+    @property
+    def kind(self) -> MaterialKind:
+        raise NotImplementedError
+
+    @property
+    def permittivity(self) -> float:
+        """Absolute permittivity ``eps_r * eps0`` [F/m]."""
+        return self.eps_r * EPS0
+
+    def admittivity(self, omega: float) -> complex:
+        """Complex admittivity ``sigma + j*omega*eps`` [S/m].
+
+        This is the coefficient of the frequency-domain current-continuity
+        equation; for a pure insulator it reduces to ``j*omega*eps``.
+        """
+        return self.sigma + 1j * omega * self.permittivity
+
+
+@dataclass(frozen=True)
+class Metal(Material):
+    """A conductor region (current-continuity equation for V)."""
+
+    sigma: float = 5.8e7  # copper-like default
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sigma <= 0.0:
+            raise MaterialError(
+                f"{self.name}: a metal needs sigma > 0, got {self.sigma}")
+
+    @property
+    def kind(self) -> MaterialKind:
+        return MaterialKind.METAL
+
+
+@dataclass(frozen=True)
+class Insulator(Material):
+    """A dielectric region (Gauss's law, no free carriers)."""
+
+    @property
+    def kind(self) -> MaterialKind:
+        return MaterialKind.INSULATOR
+
+
+@dataclass(frozen=True)
+class Semiconductor(Material):
+    """A semiconductor region with drift-diffusion carrier transport.
+
+    Parameters (beyond :class:`Material`)
+    -------------------------------------
+    ni:
+        Intrinsic carrier density [1/m^3].
+    mu_n, mu_p:
+        Low-field electron / hole mobilities [m^2/(V s)].
+    tau_n, tau_p:
+        SRH carrier lifetimes [s].
+    donor_density, acceptor_density:
+        Uniform background doping [1/m^3]; spatially varying profiles are
+        layered on top via :mod:`repro.materials.doping`.
+    temperature:
+        Lattice temperature [K].
+    """
+
+    ni: float = NI_SILICON
+    mu_n: float = 0.14          # silicon electrons, m^2/Vs
+    mu_p: float = 0.045         # silicon holes, m^2/Vs
+    tau_n: float = 1.0e-6
+    tau_p: float = 1.0e-6
+    donor_density: float = 0.0
+    acceptor_density: float = 0.0
+    temperature: float = T_ROOM
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.ni <= 0.0:
+            raise MaterialError(f"{self.name}: ni must be positive")
+        if self.mu_n <= 0.0 or self.mu_p <= 0.0:
+            raise MaterialError(f"{self.name}: mobilities must be positive")
+        if self.tau_n <= 0.0 or self.tau_p <= 0.0:
+            raise MaterialError(f"{self.name}: lifetimes must be positive")
+        if self.donor_density < 0.0 or self.acceptor_density < 0.0:
+            raise MaterialError(
+                f"{self.name}: doping densities must be non-negative")
+
+    @property
+    def kind(self) -> MaterialKind:
+        return MaterialKind.SEMICONDUCTOR
+
+    @property
+    def net_doping(self) -> float:
+        """Net doping ``Nd - Na`` [1/m^3] of the uniform background."""
+        return self.donor_density - self.acceptor_density
+
+
+@dataclass
+class MaterialTable:
+    """Ordered registry mapping small integer ids to materials.
+
+    Cells of a structure store the integer id; the table resolves it back
+    to the :class:`Material`.  Id 0 is reserved for the structure's
+    background material.
+    """
+
+    materials: list = field(default_factory=list)
+
+    def add(self, material: Material) -> int:
+        """Register ``material`` and return its id (idempotent by name)."""
+        for idx, existing in enumerate(self.materials):
+            if existing.name == material.name:
+                if existing != material:
+                    raise MaterialError(
+                        f"conflicting definitions for material "
+                        f"{material.name!r}")
+                return idx
+        self.materials.append(material)
+        return len(self.materials) - 1
+
+    def __getitem__(self, idx: int) -> Material:
+        try:
+            return self.materials[idx]
+        except IndexError as exc:
+            raise MaterialError(f"no material with id {idx}") from exc
+
+    def __len__(self) -> int:
+        return len(self.materials)
+
+    def id_of(self, name: str) -> int:
+        """Return the id of the material called ``name``."""
+        for idx, material in enumerate(self.materials):
+            if material.name == name:
+                return idx
+        raise MaterialError(f"no material named {name!r}")

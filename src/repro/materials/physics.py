@@ -1,0 +1,119 @@
+"""Semiconductor physics helpers.
+
+These small, heavily tested functions supply the nonlinear coefficients of
+the drift-diffusion system (paper eq. 2): mobility models, SRH
+generation/recombination ``U(n, p)`` and its derivatives (needed for the
+Jacobian of eq. 8), and the thermal-equilibrium relations used for the DC
+operating point and for ohmic contact boundary conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import NI_SILICON, thermal_voltage
+
+
+def intrinsic_density(temperature: float = 300.0) -> float:
+    """Intrinsic carrier density of silicon [1/m^3].
+
+    Uses the standard ``T^{3/2} exp(-Eg/2kT)`` scaling anchored at the
+    300 K value of 1.45e10 cm^-3.  Band-gap narrowing is ignored — the
+    paper operates at room temperature throughout.
+    """
+    eg = 1.12  # silicon band gap [eV]
+    vt = thermal_voltage(temperature)
+    vt300 = thermal_voltage(300.0)
+    ratio = (temperature / 300.0) ** 1.5
+    arg = -eg / 2.0 * (1.0 / vt - 1.0 / vt300)
+    return NI_SILICON * ratio * float(np.exp(arg))
+
+
+def mobility_caughey_thomas(doping_total, mu_min: float, mu_max: float,
+                            n_ref: float, alpha: float):
+    """Caughey-Thomas doping-dependent mobility [m^2/Vs].
+
+    ``mu = mu_min + (mu_max - mu_min) / (1 + (N/N_ref)^alpha)``
+
+    Parameters
+    ----------
+    doping_total:
+        Total ionized impurity density ``Nd + Na`` [1/m^3]; scalar or array.
+    mu_min, mu_max:
+        Asymptotic mobilities [m^2/Vs].
+    n_ref:
+        Reference doping [1/m^3].
+    alpha:
+        Fitting exponent.
+    """
+    doping_total = np.asarray(doping_total, dtype=float)
+    if np.any(doping_total < 0.0):
+        raise ValueError("total doping must be non-negative")
+    return mu_min + (mu_max - mu_min) / (1.0 + (doping_total / n_ref) ** alpha)
+
+
+def electron_mobility_si(doping_total):
+    """Caughey-Thomas electron mobility for silicon [m^2/Vs]."""
+    return mobility_caughey_thomas(doping_total, mu_min=0.00688,
+                                   mu_max=0.1414, n_ref=9.2e22, alpha=0.711)
+
+
+def hole_mobility_si(doping_total):
+    """Caughey-Thomas hole mobility for silicon [m^2/Vs]."""
+    return mobility_caughey_thomas(doping_total, mu_min=0.00449,
+                                   mu_max=0.04705, n_ref=2.23e23, alpha=0.719)
+
+
+def srh_recombination(n, p, ni: float, tau_n: float, tau_p: float):
+    """Shockley-Read-Hall net recombination rate ``U(n, p)`` [1/(m^3 s)].
+
+    ``U = (n p - ni^2) / (tau_p (n + ni) + tau_n (p + ni))``
+
+    Positive when excess carriers recombine, negative under depletion
+    (generation).  Accepts scalars or arrays.
+    """
+    n = np.asarray(n, dtype=float)
+    p = np.asarray(p, dtype=float)
+    denom = tau_p * (n + ni) + tau_n * (p + ni)
+    return (n * p - ni * ni) / denom
+
+
+def srh_derivatives(n, p, ni: float, tau_n: float, tau_p: float):
+    """Partial derivatives ``(dU/dn, dU/dp)`` of the SRH rate.
+
+    Needed for the carrier blocks of the Jacobian matrix (paper eq. 8)
+    and for the small-signal AC system.
+    """
+    n = np.asarray(n, dtype=float)
+    p = np.asarray(p, dtype=float)
+    denom = tau_p * (n + ni) + tau_n * (p + ni)
+    numer = n * p - ni * ni
+    du_dn = p / denom - numer * tau_p / (denom * denom)
+    du_dp = n / denom - numer * tau_n / (denom * denom)
+    return du_dn, du_dp
+
+
+def equilibrium_potential(net_doping, ni: float, vt: float):
+    """Thermal-equilibrium electrostatic potential [V].
+
+    For net doping ``N = Nd - Na`` the charge-neutral equilibrium potential
+    relative to intrinsic is ``V = Vt * asinh(N / (2 ni))``.  This pins the
+    potential at ohmic contacts and provides the Newton initial guess.
+    """
+    net_doping = np.asarray(net_doping, dtype=float)
+    return vt * np.arcsinh(net_doping / (2.0 * ni))
+
+
+def equilibrium_carriers(potential, ni: float, vt: float):
+    """Boltzmann equilibrium densities ``(n, p)`` for a potential [V].
+
+    ``n = ni exp(V/Vt)``, ``p = ni exp(-V/Vt)``; the product is always
+    ``ni^2`` (mass-action law), which the tests assert.
+    """
+    potential = np.asarray(potential, dtype=float)
+    # Clip the exponent so pathological inputs degrade gracefully instead
+    # of overflowing; 60 thermal voltages is far beyond silicon doping.
+    arg = np.clip(potential / vt, -60.0, 60.0)
+    n = ni * np.exp(arg)
+    p = ni * np.exp(-arg)
+    return n, p

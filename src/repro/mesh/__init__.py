@@ -1,0 +1,34 @@
+"""Structured Cartesian mesh with perturbed-geometry support.
+
+The FVM of the paper (Section II.A) meshes the structure into cubes:
+scalar unknowns (V, n, p) live on nodes, the vector potential A lives on
+links, and fluxes cross the dual surfaces orthogonal to the links.  When
+the continuous-surface-variation model displaces nodes, the cells become
+irregular and all geometric parameters (link length, dual area, dual
+volume) must be recomputed — that machinery lives in
+:mod:`repro.mesh.dual` and :mod:`repro.mesh.perturbed`.
+"""
+
+from repro.mesh.grid import CartesianGrid
+from repro.mesh.entities import LinkSet
+from repro.mesh.dual import (
+    GridGeometry,
+    compute_geometry,
+    node_masked_volumes,
+)
+from repro.mesh.perturbed import PerturbedGrid
+from repro.mesh.quality import MeshValidityReport, check_mesh_validity
+from repro.mesh.refine import graded_axis, uniform_axis
+
+__all__ = [
+    "CartesianGrid",
+    "LinkSet",
+    "GridGeometry",
+    "compute_geometry",
+    "node_masked_volumes",
+    "PerturbedGrid",
+    "MeshValidityReport",
+    "check_mesh_validity",
+    "graded_axis",
+    "uniform_axis",
+]

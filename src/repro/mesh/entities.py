@@ -1,0 +1,142 @@
+"""Link (edge) enumeration and link-cell adjacency.
+
+The FVM assigns the vector potential A to link centres and integrates
+fluxes across the dual surfaces pierced by the links (Section II.A of the
+paper).  A :class:`LinkSet` enumerates all links of a grid in a canonical
+order and records, for each link, the up-to-four cells that share it —
+needed to average material coefficients onto links.
+
+Canonical link ordering: all x-directed links first, then y, then z; each
+axis block is flattened with the x index fastest, matching the node-id
+convention of :class:`repro.mesh.grid.CartesianGrid`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.mesh.grid import CartesianGrid
+
+
+def _flat(field_3d: np.ndarray) -> np.ndarray:
+    """Flatten an (na, nb, nc) lattice field with the first index fastest."""
+    return np.transpose(field_3d, (2, 1, 0)).ravel()
+
+
+class LinkSet:
+    """All links of a Cartesian grid with their adjacency data.
+
+    Attributes
+    ----------
+    axis:
+        ``(L,)`` int array, 0/1/2: the direction of each link.
+    node_a, node_b:
+        ``(L,)`` flat node ids of the link endpoints (``a`` has the lower
+        lattice index along ``axis``).
+    cells:
+        ``(L, 4)`` flat cell ids of the cells sharing each link, ``-1``
+        where the link lies on the domain boundary and a quadrant is
+        missing.  Quadrant order: ``(t1-, t2-), (t1+, t2-), (t1-, t2+),
+        (t1+, t2+)`` where ``t1 < t2`` are the two transverse axes.
+    axis_offsets:
+        Start offset of each axis block in the canonical ordering.
+    """
+
+    def __init__(self, grid: CartesianGrid):
+        self.grid = grid
+        nx, ny, nz = grid.shape
+        counts = [(nx - 1) * ny * nz, nx * (ny - 1) * nz, nx * ny * (nz - 1)]
+        self.axis_offsets = np.array(
+            [0, counts[0], counts[0] + counts[1]], dtype=int)
+        self.num_links = int(sum(counts))
+
+        axis_list = []
+        node_a_list = []
+        node_b_list = []
+        cells_list = []
+        for axis in range(3):
+            a, b, cells = self._build_axis(axis)
+            axis_list.append(np.full(a.size, axis, dtype=np.int8))
+            node_a_list.append(a)
+            node_b_list.append(b)
+            cells_list.append(cells)
+        self.axis = np.concatenate(axis_list)
+        self.node_a = np.concatenate(node_a_list)
+        self.node_b = np.concatenate(node_b_list)
+        self.cells = np.vstack(cells_list)
+
+    # ------------------------------------------------------------------
+    def _build_axis(self, axis: int):
+        grid = self.grid
+        sizes = list(grid.shape)
+        link_sizes = sizes.copy()
+        link_sizes[axis] -= 1
+        ranges = [np.arange(n) for n in link_sizes]
+        I, J, K = np.meshgrid(*ranges, indexing="ij")
+
+        idx_a = [I, J, K]
+        idx_b = [I.copy(), J.copy(), K.copy()]
+        idx_b[axis] = idx_b[axis] + 1
+        node_a = _flat(grid.node_id(*idx_a))
+        node_b = _flat(grid.node_id(*idx_b))
+
+        # The four cells around the link: along `axis` the cell index
+        # equals the link index; along each transverse axis it is the node
+        # index or node index - 1.
+        t1, t2 = [a for a in range(3) if a != axis]
+        cell_shape = grid.cell_shape
+        cells = np.full((node_a.size, 4), -1, dtype=int)
+        lattice = [I, J, K]
+        quadrants = [(-1, -1), (0, -1), (-1, 0), (0, 0)]
+        for qpos, (d1, d2) in enumerate(quadrants):
+            ci = [lattice[0].copy(), lattice[1].copy(), lattice[2].copy()]
+            ci[t1] = ci[t1] + d1
+            ci[t2] = ci[t2] + d2
+            valid = ((ci[0] >= 0) & (ci[0] < cell_shape[0])
+                     & (ci[1] >= 0) & (ci[1] < cell_shape[1])
+                     & (ci[2] >= 0) & (ci[2] < cell_shape[2]))
+            flat_valid = _flat(valid)
+            safe = [np.clip(c, 0, cell_shape[n] - 1)
+                    for n, c in enumerate(ci)]
+            flat_ids = _flat(grid.cell_id(*safe))
+            cells[flat_valid, qpos] = flat_ids[flat_valid]
+        return node_a, node_b, cells
+
+    # ------------------------------------------------------------------
+    def axis_slice(self, axis: int) -> slice:
+        """Slice of the canonical ordering covering one axis block."""
+        if axis not in (0, 1, 2):
+            raise MeshError(f"axis must be 0, 1 or 2, got {axis}")
+        start = int(self.axis_offsets[axis])
+        if axis == 2:
+            stop = self.num_links
+        else:
+            stop = int(self.axis_offsets[axis + 1])
+        return slice(start, stop)
+
+    def link_id(self, axis: int, i, j, k):
+        """Canonical link id from lattice indices; accepts arrays."""
+        grid = self.grid
+        sizes = list(grid.shape)
+        sizes[axis] -= 1
+        i = np.asarray(i)
+        j = np.asarray(j)
+        k = np.asarray(k)
+        if (np.any(i < 0) or np.any(i >= sizes[0])
+                or np.any(j < 0) or np.any(j >= sizes[1])
+                or np.any(k < 0) or np.any(k >= sizes[2])):
+            raise MeshError("link index out of range")
+        local = i + sizes[0] * (j + sizes[1] * k)
+        return int(self.axis_offsets[axis]) + local
+
+    def links_touching_nodes(self, node_ids) -> np.ndarray:
+        """Canonical ids of every link with at least one endpoint in
+        ``node_ids``."""
+        node_set = np.zeros(self.grid.num_nodes, dtype=bool)
+        node_set[np.asarray(node_ids, dtype=int)] = True
+        mask = node_set[self.node_a] | node_set[self.node_b]
+        return np.nonzero(mask)[0]
+
+    def __len__(self) -> int:
+        return self.num_links

@@ -1,0 +1,246 @@
+"""Tensor-product Cartesian grid.
+
+Node numbering convention used everywhere in the package::
+
+    node_id(i, j, k) = i + nx * j + nx * ny * k
+
+with ``0 <= i < nx`` along x, similarly j along y, k along z.  Cells are
+numbered the same way on the ``(nx-1, ny-1, nz-1)`` lattice; cell
+``(i, j, k)`` spans nodes ``i..i+1``, ``j..j+1``, ``k..k+1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+
+
+def _validate_axis(values: np.ndarray, name: str) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise MeshError(f"{name} axis must be 1-D, got shape {values.shape}")
+    if values.size < 2:
+        raise MeshError(f"{name} axis needs at least 2 coordinates")
+    if not np.all(np.diff(values) > 0.0):
+        raise MeshError(f"{name} axis must be strictly increasing")
+    return values
+
+
+class CartesianGrid:
+    """A structured grid defined by three strictly increasing axes.
+
+    Parameters
+    ----------
+    xs, ys, zs:
+        1-D arrays of node coordinates [m] along each axis.
+    """
+
+    def __init__(self, xs, ys, zs):
+        self.xs = _validate_axis(xs, "x")
+        self.ys = _validate_axis(ys, "y")
+        self.zs = _validate_axis(zs, "z")
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def nx(self) -> int:
+        return self.xs.size
+
+    @property
+    def ny(self) -> int:
+        return self.ys.size
+
+    @property
+    def nz(self) -> int:
+        return self.zs.size
+
+    @property
+    def shape(self) -> tuple:
+        """Node lattice shape ``(nx, ny, nz)``."""
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def cell_shape(self) -> tuple:
+        """Cell lattice shape ``(nx-1, ny-1, nz-1)``."""
+        return (self.nx - 1, self.ny - 1, self.nz - 1)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def num_cells(self) -> int:
+        return (self.nx - 1) * (self.ny - 1) * (self.nz - 1)
+
+    @property
+    def num_links(self) -> int:
+        nx, ny, nz = self.shape
+        return ((nx - 1) * ny * nz + nx * (ny - 1) * nz
+                + nx * ny * (nz - 1))
+
+    @property
+    def extent(self) -> tuple:
+        """Domain bounding box ``((x0, x1), (y0, y1), (z0, z1))``."""
+        return ((self.xs[0], self.xs[-1]),
+                (self.ys[0], self.ys[-1]),
+                (self.zs[0], self.zs[-1]))
+
+    @property
+    def volume(self) -> float:
+        """Total domain volume [m^3]."""
+        return ((self.xs[-1] - self.xs[0])
+                * (self.ys[-1] - self.ys[0])
+                * (self.zs[-1] - self.zs[0]))
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def node_id(self, i, j, k):
+        """Flat node id for lattice indices; accepts arrays."""
+        i = np.asarray(i)
+        j = np.asarray(j)
+        k = np.asarray(k)
+        if (np.any(i < 0) or np.any(i >= self.nx)
+                or np.any(j < 0) or np.any(j >= self.ny)
+                or np.any(k < 0) or np.any(k >= self.nz)):
+            raise MeshError("node index out of range")
+        return i + self.nx * (j + self.ny * k)
+
+    def node_ijk(self, node_id):
+        """Inverse of :meth:`node_id`; accepts arrays."""
+        node_id = np.asarray(node_id)
+        if np.any(node_id < 0) or np.any(node_id >= self.num_nodes):
+            raise MeshError("node id out of range")
+        i = node_id % self.nx
+        j = (node_id // self.nx) % self.ny
+        k = node_id // (self.nx * self.ny)
+        return i, j, k
+
+    def cell_id(self, i, j, k):
+        """Flat cell id for lattice indices; accepts arrays."""
+        ncx, ncy, ncz = self.cell_shape
+        i = np.asarray(i)
+        j = np.asarray(j)
+        k = np.asarray(k)
+        if (np.any(i < 0) or np.any(i >= ncx)
+                or np.any(j < 0) or np.any(j >= ncy)
+                or np.any(k < 0) or np.any(k >= ncz)):
+            raise MeshError("cell index out of range")
+        return i + ncx * (j + ncy * k)
+
+    def cell_ijk(self, cell_id):
+        """Inverse of :meth:`cell_id`; accepts arrays."""
+        ncx, ncy, ncz = self.cell_shape
+        cell_id = np.asarray(cell_id)
+        if np.any(cell_id < 0) or np.any(cell_id >= self.num_cells):
+            raise MeshError("cell id out of range")
+        i = cell_id % ncx
+        j = (cell_id // ncx) % ncy
+        k = cell_id // (ncx * ncy)
+        return i, j, k
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def node_coordinate_fields(self):
+        """Return ``(X, Y, Z)`` arrays of shape ``(nx, ny, nz)``.
+
+        ``X[i, j, k]`` is the x coordinate of node ``(i, j, k)``; for the
+        unperturbed grid this is just a broadcast of the axes.
+        """
+        X, Y, Z = np.meshgrid(self.xs, self.ys, self.zs, indexing="ij")
+        return X, Y, Z
+
+    def node_coords(self) -> np.ndarray:
+        """Return ``(num_nodes, 3)`` node coordinates in flat-id order."""
+        X, Y, Z = self.node_coordinate_fields()
+        return self.fields_to_flat(X, Y, Z)
+
+    def fields_to_flat(self, X, Y, Z) -> np.ndarray:
+        """Stack ``(nx, ny, nz)`` coordinate fields into ``(N, 3)``.
+
+        The flattening follows the node-id convention (x fastest).
+        """
+        coords = np.empty((self.num_nodes, 3), dtype=float)
+        coords[:, 0] = np.transpose(X, (2, 1, 0)).ravel()
+        coords[:, 1] = np.transpose(Y, (2, 1, 0)).ravel()
+        coords[:, 2] = np.transpose(Z, (2, 1, 0)).ravel()
+        return coords
+
+    def flat_to_fields(self, coords: np.ndarray):
+        """Inverse of :meth:`fields_to_flat`."""
+        coords = np.asarray(coords, dtype=float)
+        if coords.shape != (self.num_nodes, 3):
+            raise MeshError(
+                f"coords must have shape ({self.num_nodes}, 3), "
+                f"got {coords.shape}")
+        shape_zyx = (self.nz, self.ny, self.nx)
+        X = np.transpose(coords[:, 0].reshape(shape_zyx), (2, 1, 0))
+        Y = np.transpose(coords[:, 1].reshape(shape_zyx), (2, 1, 0))
+        Z = np.transpose(coords[:, 2].reshape(shape_zyx), (2, 1, 0))
+        return X.copy(), Y.copy(), Z.copy()
+
+    def flat_field(self, field_3d: np.ndarray) -> np.ndarray:
+        """Flatten an ``(nx, ny, nz)`` nodal field into flat-id order."""
+        field_3d = np.asarray(field_3d)
+        if field_3d.shape != self.shape:
+            raise MeshError(
+                f"field must have shape {self.shape}, got {field_3d.shape}")
+        return np.transpose(field_3d, (2, 1, 0)).ravel()
+
+    def unflatten_field(self, field_flat: np.ndarray) -> np.ndarray:
+        """Reshape a flat nodal field back to ``(nx, ny, nz)``."""
+        field_flat = np.asarray(field_flat)
+        if field_flat.shape != (self.num_nodes,):
+            raise MeshError(
+                f"field must have shape ({self.num_nodes},), "
+                f"got {field_flat.shape}")
+        shape_zyx = (self.nz, self.ny, self.nx)
+        return np.transpose(field_flat.reshape(shape_zyx), (2, 1, 0)).copy()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes_in_box(self, lo, hi, tol: float = 0.0) -> np.ndarray:
+        """Flat ids of nodes inside the axis-aligned box ``[lo, hi]``."""
+        coords = self.node_coords()
+        lo = np.asarray(lo, dtype=float) - tol
+        hi = np.asarray(hi, dtype=float) + tol
+        inside = np.all((coords >= lo) & (coords <= hi), axis=1)
+        return np.nonzero(inside)[0]
+
+    def cells_in_box(self, lo, hi, tol: float = 0.0) -> np.ndarray:
+        """Flat ids of cells whose centre lies inside ``[lo, hi]``."""
+        cx = 0.5 * (self.xs[:-1] + self.xs[1:])
+        cy = 0.5 * (self.ys[:-1] + self.ys[1:])
+        cz = 0.5 * (self.zs[:-1] + self.zs[1:])
+        CX, CY, CZ = np.meshgrid(cx, cy, cz, indexing="ij")
+        lo = np.asarray(lo, dtype=float) - tol
+        hi = np.asarray(hi, dtype=float) + tol
+        inside = ((CX >= lo[0]) & (CX <= hi[0])
+                  & (CY >= lo[1]) & (CY <= hi[1])
+                  & (CZ >= lo[2]) & (CZ <= hi[2]))
+        ii, jj, kk = np.nonzero(inside)
+        return self.cell_id(ii, jj, kk)
+
+    def boundary_node_ids(self, face: str) -> np.ndarray:
+        """Flat ids of the nodes on one domain face.
+
+        ``face`` is one of ``x-``, ``x+``, ``y-``, ``y+``, ``z-``, ``z+``.
+        """
+        axis_map = {"x": 0, "y": 1, "z": 2}
+        if len(face) != 2 or face[0] not in axis_map or face[1] not in "+-":
+            raise MeshError(f"bad face spec {face!r}")
+        axis = axis_map[face[0]]
+        sizes = self.shape
+        index = sizes[axis] - 1 if face[1] == "+" else 0
+        ranges = [np.arange(n) for n in sizes]
+        ranges[axis] = np.array([index])
+        I, J, K = np.meshgrid(*ranges, indexing="ij")
+        return self.node_id(I.ravel(), J.ravel(), K.ravel())
+
+    def __repr__(self) -> str:
+        return (f"CartesianGrid(nx={self.nx}, ny={self.ny}, nz={self.nz}, "
+                f"nodes={self.num_nodes}, links={self.num_links})")

@@ -1,0 +1,107 @@
+"""Axis generators: uniform, breakpoint-aligned and graded spacings.
+
+Geometry builders need grid lines that fall exactly on material
+interfaces (so boxes of metal/insulator/semiconductor tile whole cells),
+and the paper notes that "the mesh near the contact will be denser due to
+the high occurrence of physical interactions there" — hence the graded
+generator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import MeshError
+
+
+def uniform_axis(start: float, stop: float, num_cells: int) -> np.ndarray:
+    """``num_cells + 1`` equally spaced nodes covering ``[start, stop]``."""
+    if stop <= start:
+        raise MeshError(f"need stop > start, got [{start}, {stop}]")
+    if num_cells < 1:
+        raise MeshError(f"need at least one cell, got {num_cells}")
+    return np.linspace(start, stop, num_cells + 1)
+
+
+def axis_from_breakpoints(breakpoints, max_step: float) -> np.ndarray:
+    """Node coordinates hitting every breakpoint exactly.
+
+    Each segment between consecutive breakpoints is subdivided uniformly
+    into ``ceil(length / max_step)`` cells, so no cell exceeds
+    ``max_step`` and every material interface coincides with a grid line.
+
+    Parameters
+    ----------
+    breakpoints:
+        Strictly increasing coordinates that must appear as nodes.
+    max_step:
+        Upper bound on the cell size [m].
+    """
+    breakpoints = np.asarray(sorted(set(float(b) for b in breakpoints)))
+    if breakpoints.size < 2:
+        raise MeshError("need at least two distinct breakpoints")
+    if max_step <= 0.0:
+        raise MeshError(f"max_step must be positive, got {max_step}")
+    nodes = [breakpoints[0]]
+    for left, right in zip(breakpoints[:-1], breakpoints[1:]):
+        length = right - left
+        segments = max(1, int(math.ceil(length / max_step - 1e-12)))
+        interior = np.linspace(left, right, segments + 1)[1:]
+        nodes.extend(interior.tolist())
+    return np.asarray(nodes)
+
+
+def graded_axis(start: float, stop: float, num_cells: int, focus,
+                strength: float = 3.0, width: float = None) -> np.ndarray:
+    """Nodes concentrated near the ``focus`` coordinates.
+
+    A node-density function ``w(x) = 1 + strength * sum_f exp(-|x-f|/width)``
+    is integrated numerically and its CDF inverted at equispaced levels,
+    which clusters nodes where ``w`` is large (near contacts/interfaces).
+
+    Parameters
+    ----------
+    start, stop:
+        Axis range.
+    num_cells:
+        Number of cells (nodes = ``num_cells + 1``).
+    focus:
+        Iterable of coordinates to refine around; must lie in the range.
+    strength:
+        Density contrast between focused and unfocused regions (>= 0).
+    width:
+        Decay length of the refinement; defaults to 10 % of the range.
+    """
+    if stop <= start:
+        raise MeshError(f"need stop > start, got [{start}, {stop}]")
+    if num_cells < 1:
+        raise MeshError(f"need at least one cell, got {num_cells}")
+    if strength < 0.0:
+        raise MeshError(f"strength must be non-negative, got {strength}")
+    focus = np.atleast_1d(np.asarray(focus, dtype=float))
+    if np.any(focus < start) or np.any(focus > stop):
+        raise MeshError("focus coordinates must lie inside the range")
+    if width is None:
+        width = 0.1 * (stop - start)
+    if width <= 0.0:
+        raise MeshError(f"width must be positive, got {width}")
+
+    # Dense sampling for the density integral.
+    samples = max(1000, 50 * num_cells)
+    x = np.linspace(start, stop, samples)
+    density = np.ones_like(x)
+    for f in focus:
+        density += strength * np.exp(-np.abs(x - f) / width)
+    cdf = np.concatenate([[0.0], np.cumsum(
+        0.5 * (density[1:] + density[:-1]) * np.diff(x))])
+    cdf /= cdf[-1]
+    levels = np.linspace(0.0, 1.0, num_cells + 1)
+    nodes = np.interp(levels, cdf, x)
+    nodes[0] = start
+    nodes[-1] = stop
+    if not np.all(np.diff(nodes) > 0.0):
+        raise MeshError("graded axis generation produced a degenerate axis; "
+                        "reduce strength or num_cells")
+    return nodes

@@ -1,0 +1,6 @@
+"""Plain-text reporting of tables and figure data series."""
+
+from repro.reporting.tables import format_table, format_kv_block
+from repro.reporting.series import Series, format_series
+
+__all__ = ["format_table", "format_kv_block", "Series", "format_series"]

@@ -1,0 +1,49 @@
+"""ASCII table rendering used by examples and benchmark harnesses."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render a list-of-rows table with right-aligned numeric columns.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row iterables; cells are formatted with ``str`` for
+        text and ``.6g`` for floats.
+    title:
+        Optional title line.
+    """
+    headers = [str(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:.6g}")
+            else:
+                cells.append(str(cell))
+        text_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in text_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_kv_block(pairs, title: str = "") -> str:
+    """Render aligned ``key: value`` lines."""
+    pairs = [(str(k), str(v)) for k, v in pairs]
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)} : {v}" for k, v in pairs)
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Drift-diffusion discretization (paper eq. 2).
+
+Scharfetter-Gummel link fluxes with a numerically stable Bernoulli
+function, SRH recombination, and the nonlinear-Poisson equilibrium
+machinery that supplies the DC operating point the frequency-domain
+system is linearized around.
+"""
+
+from repro.semiconductor.bernoulli import bernoulli, bernoulli_derivative
+from repro.semiconductor.scharfetter_gummel import (
+    electron_flux,
+    hole_flux,
+    electron_flux_linearization,
+    hole_flux_linearization,
+)
+
+__all__ = [
+    "bernoulli",
+    "bernoulli_derivative",
+    "electron_flux",
+    "hole_flux",
+    "electron_flux_linearization",
+    "hole_flux_linearization",
+]

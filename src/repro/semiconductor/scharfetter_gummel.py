@@ -1,0 +1,87 @@
+"""Scharfetter-Gummel link fluxes and their linearization.
+
+Conventions (used consistently by the AC assembler):
+
+* every link is oriented from ``node_a`` to ``node_b``;
+* ``u = (V_b - V_a) / V_T`` is the normalized link voltage;
+* fluxes are *particle* fluxes per unit area **along** the link
+  (positive = from a to b); multiply by ``q`` for current density;
+* electron flux:  ``F_n = (mu_n V_T / L) [n_a B(-u) - n_b B(u)]``
+* hole flux:      ``F_p = (mu_p V_T / L) [p_a B(u) - p_b B(-u)]``
+
+Both vanish identically in thermal equilibrium
+(``n = ni exp(V/V_T)``, ``p = ni exp(-V/V_T)``) thanks to the identity
+``B(-u) = exp(u) B(u)``, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.semiconductor.bernoulli import bernoulli, bernoulli_derivative
+
+
+def electron_flux(n_a, n_b, u, mobility, vt: float, length):
+    """Electron particle flux along the link [1/(m^2 s)]."""
+    return (mobility * vt / length) * (n_a * bernoulli(-np.asarray(u))
+                                       - n_b * bernoulli(u))
+
+
+def hole_flux(p_a, p_b, u, mobility, vt: float, length):
+    """Hole particle flux along the link [1/(m^2 s)]."""
+    return (mobility * vt / length) * (p_a * bernoulli(u)
+                                       - p_b * bernoulli(-np.asarray(u)))
+
+
+@dataclass(frozen=True)
+class FluxLinearization:
+    """First-order expansion of a link flux.
+
+    ``delta_F = coef_a * delta_c_a + coef_b * delta_c_b
+    + coef_dv * (delta_V_b - delta_V_a)``
+    where ``delta_c`` is the carrier perturbation at each endpoint.
+    """
+
+    coef_a: np.ndarray
+    coef_b: np.ndarray
+    coef_dv: np.ndarray
+
+
+def electron_flux_linearization(n0_a, n0_b, u0, mobility, vt: float,
+                                length) -> FluxLinearization:
+    """Linearize the electron flux around the DC state.
+
+    With ``u = (V_b - V_a)/V_T``::
+
+        dF/dn_a =  (mu V_T / L) B(-u0)
+        dF/dn_b = -(mu V_T / L) B(u0)
+        dF/d(V_b - V_a) = (mu / L) [-n0_a B'(-u0) - n0_b B'(u0)]
+    """
+    u0 = np.asarray(u0, dtype=float)
+    base = mobility * vt / length
+    coef_a = base * bernoulli(-u0)
+    coef_b = -base * bernoulli(u0)
+    coef_dv = (mobility / length) * (-n0_a * bernoulli_derivative(-u0)
+                                     - n0_b * bernoulli_derivative(u0))
+    return FluxLinearization(coef_a=coef_a, coef_b=coef_b, coef_dv=coef_dv)
+
+
+def hole_flux_linearization(p0_a, p0_b, u0, mobility, vt: float,
+                            length) -> FluxLinearization:
+    """Linearize the hole flux around the DC state.
+
+    With ``u = (V_b - V_a)/V_T``::
+
+        dF/dp_a =  (mu V_T / L) B(u0)
+        dF/dp_b = -(mu V_T / L) B(-u0)
+        dF/d(V_b - V_a) = (mu / L) [p0_a B'(u0) + p0_b B'(-u0)]
+    """
+    u0 = np.asarray(u0, dtype=float)
+    base = mobility * vt / length
+    coef_a = base * bernoulli(u0)
+    coef_b = -base * bernoulli(-u0)
+    coef_dv = (mobility / length) * (p0_a * bernoulli_derivative(u0)
+                                     + p0_b * bernoulli_derivative(-u0))
+    return FluxLinearization(coef_a=coef_a, coef_b=coef_b, coef_dv=coef_dv)

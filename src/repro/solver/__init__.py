@@ -1,0 +1,26 @@
+"""The coupled A-V solver.
+
+* :mod:`repro.solver.linear` — equilibrated sparse LU.
+* :mod:`repro.solver.newton` — damped Newton-Raphson (paper eq. 8).
+* :mod:`repro.solver.dc` — nonlinear-Poisson equilibrium operating point.
+* :mod:`repro.solver.ac` — frequency-domain coupled {V, n, p} system.
+* :mod:`repro.solver.ampere` — optional full-wave vector-potential pass.
+* :mod:`repro.solver.avsolver` — the user-facing facade.
+"""
+
+from repro.solver.linear import solve_sparse
+from repro.solver.newton import NewtonOptions, damped_newton
+from repro.solver.dc import EquilibriumState, solve_equilibrium
+from repro.solver.ac import ACSolution, ACSystem
+from repro.solver.avsolver import AVSolver
+
+__all__ = [
+    "solve_sparse",
+    "NewtonOptions",
+    "damped_newton",
+    "EquilibriumState",
+    "solve_equilibrium",
+    "ACSolution",
+    "ACSystem",
+    "AVSolver",
+]

@@ -1,0 +1,431 @@
+"""Frequency-domain coupled EM-semiconductor system.
+
+This is the discrete form of the paper's equations (1)-(2) linearized
+around the DC operating point — exactly the Jacobian structure of
+eq. (8):
+
+* **metal nodes** carry total-current continuity: conduction +
+  displacement current through every dual-face quadrant, plus the
+  carrier currents through semiconductor quadrants (the
+  ``dF/d{p,n}`` coupling blocks);
+* **semiconductor / insulator nodes** carry Gauss's law with the free
+  AC charge ``q (dp - dn)`` weighted by the semiconductor share of the
+  dual cell;
+* **free semiconductor nodes** carry the linearized electron / hole
+  continuity equations with Scharfetter-Gummel fluxes, carrier storage
+  ``j w dn`` and SRH recombination;
+* **ohmic contact nodes** (metal touching semiconductor) pin the AC
+  excess carriers to zero.
+
+All fluxes follow the *outflow* convention (see
+:mod:`repro.semiconductor.scharfetter_gummel` for the link-oriented
+flux definitions).  The optional ``link_emf`` argument adds the
+``j w A`` induction voltage of the full-wave mode to every link
+(see :mod:`repro.solver.ampere`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.constants import Q
+from repro.em.operators import (
+    cell_property_array,
+    link_material_areas,
+    link_weighted_coefficients,
+)
+from repro.errors import ExtractionError, GeometryError
+from repro.geometry.structure import Structure
+from repro.materials.physics import srh_derivatives
+from repro.mesh.dual import GridGeometry, node_masked_volumes
+from repro.semiconductor.scharfetter_gummel import (
+    electron_flux_linearization,
+    hole_flux_linearization,
+)
+from repro.solver.dc import EquilibriumState
+from repro.solver.linear import solve_sparse
+
+
+@dataclass
+class ACSolution:
+    """Result of one frequency-domain solve.
+
+    Nodal phasors in flat node order; ``n`` and ``p`` are the AC excess
+    carrier densities (zero outside the semiconductor).
+    """
+
+    structure: Structure
+    geometry: GridGeometry
+    equilibrium: EquilibriumState
+    omega: float
+    excitations: dict
+    potential: np.ndarray
+    n: np.ndarray
+    p: np.ndarray
+    system: "ACSystem"
+    vector_potential: np.ndarray = None
+
+    def link_total_current(self) -> np.ndarray:
+        """Total AC current through each link's dual face [A], oriented
+        from ``node_a`` to ``node_b`` (conduction + displacement +
+        carrier currents)."""
+        return self.system.link_total_current(self)
+
+    def link_dielectric_flux(self) -> np.ndarray:
+        """Electric (D-field) flux through each dual face [C], oriented
+        a -> b; the Gauss-law flux used for charge integration."""
+        return self.system.link_dielectric_flux(self)
+
+    def potential_field(self) -> np.ndarray:
+        """Potential reshaped to the ``(nx, ny, nz)`` node lattice."""
+        return self.structure.grid.unflatten_field(self.potential)
+
+
+class ACSystem:
+    """Assembles and solves the coupled system for one sample.
+
+    Parameters
+    ----------
+    structure:
+        Material layout (logical grid).
+    geometry:
+        FVM geometry, possibly from a perturbed grid sample.
+    equilibrium:
+        DC operating point matching the same doping sample.
+    frequency:
+        Excitation frequency [Hz].
+    recombination:
+        Include the SRH linearization (on by default).
+    """
+
+    def __init__(self, structure: Structure, geometry: GridGeometry,
+                 equilibrium: EquilibriumState, frequency: float,
+                 recombination: bool = True):
+        if frequency <= 0.0:
+            raise GeometryError(
+                f"frequency must be positive, got {frequency}")
+        self.structure = structure
+        self.geometry = geometry
+        self.equilibrium = equilibrium
+        self.omega = 2.0 * np.pi * frequency
+        self.recombination = recombination
+        self._build_coefficients()
+        self._assemble()
+
+    # ------------------------------------------------------------------
+    def _build_coefficients(self) -> None:
+        structure = self.structure
+        geometry = self.geometry
+        omega = self.omega
+        kinds = structure.node_kinds()
+        self.kinds = kinds
+        self.num_nodes = structure.grid.num_nodes
+
+        eps_cells = cell_property_array(structure,
+                                        lambda m: m.permittivity)
+        sigma_cells = cell_property_array(structure, lambda m: m.sigma)
+        lengths = geometry.link_lengths
+        self.link_lengths = lengths
+        self.g_eps = (link_weighted_coefficients(geometry, eps_cells)
+                      / lengths)
+        self.g_tot = (link_weighted_coefficients(
+            geometry, sigma_cells + 1j * omega * eps_cells) / lengths)
+
+        _, semi_cells, _ = structure.cell_kind_masks()
+        self.semi_areas = link_material_areas(geometry, semi_cells)
+        self.semi_volumes = node_masked_volumes(geometry, semi_cells)
+
+        eq = self.equilibrium
+        self.has_carriers = eq.has_semiconductor
+        links = geometry.links
+        self.carrier_links = np.nonzero(self.semi_areas > 0.0)[0]
+        if self.has_carriers and self.carrier_links.size:
+            material = structure.primary_semiconductor()
+            a = links.node_a[self.carrier_links]
+            b = links.node_b[self.carrier_links]
+            carrier_ok = eq.carrier_mask[a] & eq.carrier_mask[b]
+            if not np.all(carrier_ok):
+                raise GeometryError(
+                    "link with semiconductor quadrants has an endpoint "
+                    "without carrier data; node classification is "
+                    "inconsistent")
+            u0 = (eq.potential[b] - eq.potential[a]) / eq.vt
+            lcl = lengths[self.carrier_links]
+            self.lin_n = electron_flux_linearization(
+                eq.n0[a], eq.n0[b], u0, material.mu_n, eq.vt, lcl)
+            self.lin_p = hole_flux_linearization(
+                eq.p0[a], eq.p0[b], u0, material.mu_p, eq.vt, lcl)
+            if self.recombination:
+                du_dn, du_dp = srh_derivatives(
+                    eq.n0, eq.p0, eq.ni, material.tau_n, material.tau_p)
+            else:
+                du_dn = np.zeros(self.num_nodes)
+                du_dp = np.zeros(self.num_nodes)
+            self.du_dn = du_dn
+            self.du_dp = du_dp
+        else:
+            self.lin_n = None
+            self.lin_p = None
+            self.du_dn = np.zeros(self.num_nodes)
+            self.du_dp = np.zeros(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    def _assemble(self) -> None:
+        """Build the global (3N x 3N) matrix in COO form.
+
+        Global unknown ids: ``V_i = i``, ``n_i = N + i``,
+        ``p_i = 2N + i``.  Restriction to the actual unknown set happens
+        at solve time, once the Dirichlet data is known.
+        """
+        geometry = self.geometry
+        links = geometry.links
+        n_nodes = self.num_nodes
+        a = links.node_a
+        b = links.node_b
+        metal = self.kinds.metal
+
+        rows = []
+        cols = []
+        vals = []
+
+        def add(r, c, v):
+            rows.append(np.asarray(r))
+            cols.append(np.asarray(c))
+            vals.append(np.asarray(v, dtype=complex))
+
+        # --- V-V conduction / Gauss terms (row-dependent coefficient) --
+        g_row_a = np.where(metal[a], self.g_tot, self.g_eps + 0j)
+        g_row_b = np.where(metal[b], self.g_tot, self.g_eps + 0j)
+        add(a, a, g_row_a)
+        add(a, b, -g_row_a)
+        add(b, b, g_row_b)
+        add(b, a, -g_row_b)
+
+        eq = self.equilibrium
+        cl = self.carrier_links
+        if self.lin_n is not None and cl.size:
+            ca_ = a[cl]
+            cb_ = b[cl]
+            area = self.semi_areas[cl]
+
+            def add_flux_rows(row_ids, sign, lin, col_offset):
+                """Outflow of a carrier flux into continuity rows.
+
+                ``sign`` is +1 for rows at the a-endpoints, -1 at b.
+                """
+                add(row_ids, col_offset + ca_, sign * area * lin.coef_a)
+                add(row_ids, col_offset + cb_, sign * area * lin.coef_b)
+                add(row_ids, cb_, sign * area * lin.coef_dv)
+                add(row_ids, ca_, -sign * area * lin.coef_dv)
+
+            # Electron / hole continuity rows (at both link endpoints;
+            # rows of Dirichlet carrier nodes are discarded at solve
+            # time, so assembling them unconditionally is safe).
+            add_flux_rows(n_nodes + ca_, +1.0, self.lin_n, n_nodes)
+            add_flux_rows(n_nodes + cb_, -1.0, self.lin_n, n_nodes)
+            add_flux_rows(2 * n_nodes + ca_, +1.0, self.lin_p,
+                          2 * n_nodes)
+            add_flux_rows(2 * n_nodes + cb_, -1.0, self.lin_p,
+                          2 * n_nodes)
+
+            # Carrier currents into *metal* (total-current) rows:
+            # I_carrier = q (F_p - F_n) * A_semi, outflow convention.
+            for row_ids, sign in ((ca_, +1.0), (cb_, -1.0)):
+                row_metal = metal[row_ids]
+                s = np.where(row_metal, sign, 0.0)
+                add(row_ids, 2 * n_nodes + ca_,
+                    s * Q * area * self.lin_p.coef_a)
+                add(row_ids, 2 * n_nodes + cb_,
+                    s * Q * area * self.lin_p.coef_b)
+                add(row_ids, n_nodes + ca_,
+                    -s * Q * area * self.lin_n.coef_a)
+                add(row_ids, n_nodes + cb_,
+                    -s * Q * area * self.lin_n.coef_b)
+                dv_coef = Q * area * (self.lin_p.coef_dv
+                                      - self.lin_n.coef_dv)
+                add(row_ids, cb_, s * dv_coef)
+                add(row_ids, ca_, -s * dv_coef)
+
+        # --- nodal (diagonal-ish) terms -------------------------------
+        carrier_nodes = np.nonzero(eq.carrier_mask)[0]
+        if carrier_nodes.size:
+            vol = self.semi_volumes[carrier_nodes]
+            jw = 1j * self.omega
+            # Gauss rows of non-metal carrier nodes: -q(dp - dn) vol.
+            gauss_nodes = carrier_nodes[~metal[carrier_nodes]]
+            gvol = self.semi_volumes[gauss_nodes]
+            add(gauss_nodes, n_nodes + gauss_nodes, Q * gvol)
+            add(gauss_nodes, 2 * n_nodes + gauss_nodes, -Q * gvol)
+            # Carrier storage + recombination.
+            add(n_nodes + carrier_nodes, n_nodes + carrier_nodes,
+                (jw + self.du_dn[carrier_nodes]) * vol)
+            add(n_nodes + carrier_nodes, 2 * n_nodes + carrier_nodes,
+                self.du_dp[carrier_nodes] * vol)
+            add(2 * n_nodes + carrier_nodes, 2 * n_nodes + carrier_nodes,
+                (jw + self.du_dp[carrier_nodes]) * vol)
+            add(2 * n_nodes + carrier_nodes, n_nodes + carrier_nodes,
+                self.du_dn[carrier_nodes] * vol)
+
+        rows = np.concatenate([np.ravel(r) for r in rows])
+        cols = np.concatenate([np.ravel(c) for c in cols])
+        vals = np.concatenate([np.ravel(v) for v in vals])
+        self.global_matrix = sp.csr_matrix(
+            (vals, (rows, cols)), shape=(3 * n_nodes, 3 * n_nodes))
+
+    # ------------------------------------------------------------------
+    def _partition(self, excitations: dict):
+        """Split global ids into unknown and Dirichlet sets."""
+        n_nodes = self.num_nodes
+        structure = self.structure
+        dirichlet_v = np.zeros(n_nodes, dtype=bool)
+        dirichlet_values = np.zeros(n_nodes, dtype=complex)
+        for contact, voltage in excitations.items():
+            ids = structure.contact_node_ids(contact)
+            dirichlet_v[ids] = True
+            dirichlet_values[ids] = voltage
+        if not np.any(dirichlet_v):
+            raise GeometryError(
+                "at least one contact excitation is required")
+
+        free_v = np.nonzero(~dirichlet_v)[0]
+        free_carriers = np.nonzero(self.kinds.semiconductor)[0]
+        unknown = np.concatenate([
+            free_v,
+            self.num_nodes + free_carriers,
+            2 * self.num_nodes + free_carriers,
+        ])
+        dirichlet_ids = np.nonzero(dirichlet_v)[0]
+        return unknown, free_v, free_carriers, dirichlet_ids, \
+            dirichlet_values[dirichlet_ids]
+
+    def _emf_rhs(self, link_emf: np.ndarray) -> np.ndarray:
+        """Global RHS from induction EMF on links (full-wave mode).
+
+        ``link_emf`` is ``j w A_l L_l`` added to every link voltage
+        ``V_b - V_a``; every matrix term that multiplies that pattern
+        contributes ``coef * emf`` moved to the right-hand side.
+        """
+        geometry = self.geometry
+        links = geometry.links
+        n_nodes = self.num_nodes
+        a = links.node_a
+        b = links.node_b
+        metal = self.kinds.metal
+        rhs = np.zeros(3 * n_nodes, dtype=complex)
+
+        g_row_a = np.where(metal[a], self.g_tot, self.g_eps + 0j)
+        g_row_b = np.where(metal[b], self.g_tot, self.g_eps + 0j)
+        np.add.at(rhs, a, g_row_a * link_emf)
+        np.add.at(rhs, b, -g_row_b * link_emf)
+
+        cl = self.carrier_links
+        if self.lin_n is not None and cl.size:
+            ca_ = a[cl]
+            cb_ = b[cl]
+            area = self.semi_areas[cl]
+            emf = link_emf[cl]
+            np.add.at(rhs, n_nodes + ca_,
+                      -area * self.lin_n.coef_dv * emf)
+            np.add.at(rhs, n_nodes + cb_,
+                      area * self.lin_n.coef_dv * emf)
+            np.add.at(rhs, 2 * n_nodes + ca_,
+                      -area * self.lin_p.coef_dv * emf)
+            np.add.at(rhs, 2 * n_nodes + cb_,
+                      area * self.lin_p.coef_dv * emf)
+            dv_coef = Q * area * (self.lin_p.coef_dv - self.lin_n.coef_dv)
+            metal_a = metal[ca_]
+            metal_b = metal[cb_]
+            np.add.at(rhs, ca_, np.where(metal_a, -dv_coef * emf, 0.0))
+            np.add.at(rhs, cb_, np.where(metal_b, dv_coef * emf, 0.0))
+        return rhs
+
+    # ------------------------------------------------------------------
+    def solve(self, excitations: dict,
+              link_emf: np.ndarray = None) -> ACSolution:
+        """Solve for one set of contact voltages.
+
+        Parameters
+        ----------
+        excitations:
+            Mapping ``contact name -> complex voltage phasor``; every
+            named contact is pinned, everything else floats.
+        link_emf:
+            Optional per-link induction voltage ``j w A_l L_l`` from a
+            previous Ampere pass (full-wave correction).
+        """
+        (unknown, free_v, free_carriers, dirichlet_ids,
+         dirichlet_vals) = self._partition(excitations)
+
+        matrix = self.global_matrix
+        sub = matrix[unknown][:, unknown]
+        rhs = -(matrix[unknown][:, dirichlet_ids] @ dirichlet_vals)
+        if link_emf is not None:
+            link_emf = np.asarray(link_emf, dtype=complex)
+            if link_emf.shape != (self.geometry.num_links,):
+                raise ExtractionError(
+                    f"link_emf must have shape "
+                    f"({self.geometry.num_links},)")
+            rhs = rhs + self._emf_rhs(link_emf)[unknown]
+        x = solve_sparse(sub, rhs)
+
+        n_nodes = self.num_nodes
+        potential = np.zeros(n_nodes, dtype=complex)
+        potential[dirichlet_ids] = dirichlet_vals
+        potential[free_v] = x[:free_v.size]
+        n_ac = np.zeros(n_nodes, dtype=complex)
+        p_ac = np.zeros(n_nodes, dtype=complex)
+        n_ac[free_carriers] = x[free_v.size:free_v.size
+                                + free_carriers.size]
+        p_ac[free_carriers] = x[free_v.size + free_carriers.size:]
+        solution = ACSolution(
+            structure=self.structure,
+            geometry=self.geometry,
+            equilibrium=self.equilibrium,
+            omega=self.omega,
+            excitations=dict(excitations),
+            potential=potential,
+            n=n_ac,
+            p=p_ac,
+            system=self,
+        )
+        solution._link_emf = link_emf
+        return solution
+
+    # ------------------------------------------------------------------
+    # Post-processing helpers
+    # ------------------------------------------------------------------
+    def _link_voltage(self, solution: ACSolution) -> np.ndarray:
+        """Per-link ``V_b - V_a`` including the induction EMF if any."""
+        links = self.geometry.links
+        dv = solution.potential[links.node_b] \
+            - solution.potential[links.node_a]
+        emf = getattr(solution, "_link_emf", None)
+        if emf is not None:
+            dv = dv + emf
+        return dv
+
+    def link_total_current(self, solution: ACSolution) -> np.ndarray:
+        """Total current a -> b through each dual face [A]."""
+        dv = self._link_voltage(solution)
+        current = -self.g_tot * dv
+        cl = self.carrier_links
+        if self.lin_n is not None and cl.size:
+            links = self.geometry.links
+            a = links.node_a[cl]
+            b = links.node_b[cl]
+            dvc = dv[cl]
+            f_n = (self.lin_n.coef_a * solution.n[a]
+                   + self.lin_n.coef_b * solution.n[b]
+                   + self.lin_n.coef_dv * dvc)
+            f_p = (self.lin_p.coef_a * solution.p[a]
+                   + self.lin_p.coef_b * solution.p[b]
+                   + self.lin_p.coef_dv * dvc)
+            current[cl] = current[cl] + Q * self.semi_areas[cl] * (f_p - f_n)
+        return current
+
+    def link_dielectric_flux(self, solution: ACSolution) -> np.ndarray:
+        """Electric flux (D dot dS) a -> b through each dual face [C]."""
+        return -self.g_eps * self._link_voltage(solution)

@@ -1,0 +1,104 @@
+"""Frequency sweeps and port admittance extraction.
+
+A small utility layer over :class:`~repro.solver.avsolver.AVSolver`:
+solve the same structure across a frequency list, collecting the port
+admittance matrix ``Y(f)`` (port currents per unit drive).  Useful for
+model-order studies and for locating the dielectric-relaxation
+crossover of the doped substrate — the physics that makes the paper's
+1 GHz operating point interesting for TSVs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.extraction.current import port_current
+from repro.geometry.structure import Structure
+from repro.solver.avsolver import AVSolver
+
+
+@dataclass
+class SweepResult:
+    """Port admittance across frequency.
+
+    Attributes
+    ----------
+    frequencies:
+        ``(F,)`` sweep frequencies [Hz].
+    ports:
+        Ordered port (contact) names.
+    admittance:
+        ``(F, P, P)`` complex matrix: ``admittance[k, i, j]`` is the
+        current into port ``i`` when port ``j`` is driven at 1 V and
+        the others grounded, at frequency ``k``.
+    """
+
+    frequencies: np.ndarray
+    ports: list
+    admittance: np.ndarray
+
+    def port_index(self, name: str) -> int:
+        try:
+            return self.ports.index(name)
+        except ValueError as exc:
+            raise GeometryError(
+                f"unknown port {name!r}; ports: {self.ports}") from exc
+
+    def input_admittance(self, port: str) -> np.ndarray:
+        """``Y_ii(f)`` of one port, shape ``(F,)``."""
+        i = self.port_index(port)
+        return self.admittance[:, i, i]
+
+    def transfer_admittance(self, into: str, driven: str) -> np.ndarray:
+        """``Y_ij(f)``: current into ``into`` per volt on ``driven``."""
+        return self.admittance[:, self.port_index(into),
+                               self.port_index(driven)]
+
+    def effective_capacitance(self, port: str) -> np.ndarray:
+        """``Im(Y_ii) / w``: the engineering capacitance of a port."""
+        omega = 2.0 * np.pi * self.frequencies
+        return self.input_admittance(port).imag / omega
+
+
+def frequency_sweep(structure: Structure, frequencies, ports=None,
+                    recombination: bool = True,
+                    full_wave: bool = False) -> SweepResult:
+    """Solve the structure at each frequency, driving each port in turn.
+
+    Parameters
+    ----------
+    structure:
+        The structure to characterize.
+    frequencies:
+        Iterable of frequencies [Hz].
+    ports:
+        Contact names to treat as ports (default: all contacts, sorted).
+    recombination, full_wave:
+        Forwarded to :class:`AVSolver`.
+    """
+    frequencies = np.asarray(sorted(float(f) for f in frequencies))
+    if frequencies.size == 0:
+        raise GeometryError("at least one frequency is required")
+    if ports is None:
+        ports = sorted(structure.contacts)
+    ports = list(ports)
+    if not ports:
+        raise GeometryError("at least one port is required")
+
+    admittance = np.zeros((frequencies.size, len(ports), len(ports)),
+                          dtype=complex)
+    for k, frequency in enumerate(frequencies):
+        solver = AVSolver(structure, frequency=frequency,
+                          recombination=recombination,
+                          full_wave=full_wave)
+        for j, driven in enumerate(ports):
+            excitation = {name: (1.0 if name == driven else 0.0)
+                          for name in ports}
+            solution = solver.solve(excitation)
+            for i, port in enumerate(ports):
+                admittance[k, i, j] = port_current(solution, port)
+    return SweepResult(frequencies=frequencies, ports=ports,
+                       admittance=admittance)

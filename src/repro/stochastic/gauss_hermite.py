@@ -1,0 +1,38 @@
+"""Gauss-Hermite quadrature for the standard Gaussian measure.
+
+Rules integrate exactly against ``exp(-x^2/2)/sqrt(2 pi)``: an
+``m``-point rule is exact for polynomials of degree ``2m - 1``.
+Built on ``numpy.polynomial.hermite_e`` (probabilists' convention) with
+the weights normalized to sum to 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.polynomial.hermite_e import hermegauss
+
+from repro.errors import StochasticError
+
+
+def gauss_hermite_rule(num_points: int):
+    """Nodes and weights of the ``num_points``-point rule.
+
+    Returns
+    -------
+    (nodes, weights):
+        Both ``(num_points,)``; weights sum to 1 and the rule integrates
+        standard-normal moments exactly up to degree ``2 m - 1``.
+    """
+    if num_points < 1:
+        raise StochasticError(
+            f"num_points must be >= 1, got {num_points}")
+    if num_points == 1:
+        return np.zeros(1), np.ones(1)
+    nodes, weights = hermegauss(num_points)
+    weights = weights / weights.sum()
+    # Symmetrize: hermegauss returns symmetric nodes up to roundoff;
+    # force the midpoint of odd rules to exactly zero so nested sparse
+    # grids dedupe the shared centre point.
+    if num_points % 2 == 1:
+        nodes[num_points // 2] = 0.0
+    return nodes, weights

@@ -1,0 +1,111 @@
+"""Probabilists' Hermite polynomials and the quadratic chaos basis.
+
+The paper expands the unknown vector in D-dimensional Hermite
+polynomials up to second order (eq. 4) and recovers mean/variance from
+the coefficients (eq. 5).  The probabilists' normalization is used:
+``He_0 = 1``, ``He_1 = x``, ``He_2 = x^2 - 1`` with
+``<He_k^2> = k!`` under the standard Gaussian weight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StochasticError
+
+
+def hermite_value(order: int, x):
+    """Probabilists' Hermite polynomial ``He_order`` evaluated at ``x``.
+
+    Uses the stable three-term recurrence
+    ``He_{k+1} = x He_k - k He_{k-1}``.
+    """
+    if order < 0:
+        raise StochasticError(f"order must be >= 0, got {order}")
+    x = np.asarray(x, dtype=float)
+    if order == 0:
+        return np.ones_like(x)
+    prev = np.ones_like(x)
+    cur = x.copy()
+    for k in range(1, order):
+        prev, cur = cur, x * cur - k * prev
+    return cur
+
+
+def hermite_norm_squared(multi_index) -> float:
+    """``<He_i1 ... He_iD ^2>`` under the standard Gaussian = prod(i_k!)."""
+    return float(np.prod([math.factorial(int(i)) for i in multi_index]))
+
+
+def multi_indices_upto(dim: int, order: int) -> list:
+    """All multi-indices with total order ``<= order``, graded order.
+
+    For ``order = 2`` this is the paper's quadratic basis:
+    1 constant + ``d`` linear + ``d`` pure-quadratic + ``C(d,2)`` cross
+    terms = ``(d+1)(d+2)/2`` coefficients.
+    """
+    if dim < 1:
+        raise StochasticError(f"dim must be >= 1, got {dim}")
+    if order < 0:
+        raise StochasticError(f"order must be >= 0, got {order}")
+    indices = [tuple([0] * dim)]
+    for total in range(1, order + 1):
+        indices.extend(_compositions(dim, total))
+    return indices
+
+
+def _compositions(dim: int, total: int) -> list:
+    """Multi-indices of exactly ``total`` over ``dim`` slots."""
+    if dim == 1:
+        return [(total,)]
+    out = []
+    for head in range(total, -1, -1):
+        for tail in _compositions(dim - 1, total - head):
+            out.append((head,) + tail)
+    return out
+
+
+@dataclass
+class HermiteBasis:
+    """A multivariate Hermite basis of fixed dimension and order."""
+
+    dim: int
+    order: int = 2
+
+    def __post_init__(self) -> None:
+        self.indices = multi_indices_upto(self.dim, self.order)
+        self.norms_squared = np.array(
+            [hermite_norm_squared(ix) for ix in self.indices])
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """Design matrix ``(num_points, size)`` of basis values.
+
+        ``points`` has shape ``(num_points, dim)`` (a single point may
+        be passed as ``(dim,)``).
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != self.dim:
+            raise StochasticError(
+                f"points must have {self.dim} columns, got {points.shape}")
+        # Precompute 1-D values for each order and dimension once.
+        max_order = self.order
+        per_order = [np.ones_like(points)]
+        if max_order >= 1:
+            per_order.append(points.copy())
+        for k in range(1, max_order):
+            per_order.append(points * per_order[k] - k * per_order[k - 1])
+        out = np.empty((points.shape[0], self.size))
+        for col, index in enumerate(self.indices):
+            vals = np.ones(points.shape[0])
+            for axis, order in enumerate(index):
+                if order:
+                    vals = vals * per_order[order][:, axis]
+            out[:, col] = vals
+        return out

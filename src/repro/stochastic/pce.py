@@ -1,0 +1,123 @@
+"""Quadratic polynomial-chaos expansion — the paper's statistical model.
+
+The SSCM produces coefficients ``x_alpha`` of the expansion (paper
+eq. 4); the mean is the zeroth coefficient and the variance is
+``sum x_alpha^2 <He_alpha^2>`` (paper eq. 5).  A fitted
+:class:`QuadraticPCE` is also a cheap surrogate: it can be evaluated and
+Monte-Carlo-sampled at negligible cost, which the ablation benches use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StochasticError
+from repro.stochastic.hermite import HermiteBasis
+
+
+class QuadraticPCE:
+    """Hermite PC expansion of a vector-valued quantity of interest.
+
+    Parameters
+    ----------
+    basis:
+        The multivariate Hermite basis.
+    coefficients:
+        ``(basis.size, output_dim)`` array of expansion coefficients.
+    output_names:
+        Optional names of the QoI components (table row labels).
+    """
+
+    def __init__(self, basis: HermiteBasis, coefficients: np.ndarray,
+                 output_names=None):
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.ndim == 1:
+            coefficients = coefficients[:, None]
+        if coefficients.shape[0] != basis.size:
+            raise StochasticError(
+                f"coefficients must have {basis.size} rows, "
+                f"got {coefficients.shape}")
+        self.basis = basis
+        self.coefficients = coefficients
+        if output_names is not None:
+            output_names = list(output_names)
+            if len(output_names) != coefficients.shape[1]:
+                raise StochasticError(
+                    "output_names length must match output dimension")
+        self.output_names = output_names
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit_quadrature(cls, basis: HermiteBasis, points: np.ndarray,
+                       weights: np.ndarray, values: np.ndarray,
+                       output_names=None) -> "QuadraticPCE":
+        """Spectral projection: ``x_a = sum_k w_k f(z_k) He_a(z_k) / <He_a^2>``."""
+        points = np.asarray(points, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if values.ndim == 1:
+            values = values[:, None]
+        if points.shape[0] != weights.size or values.shape[0] != weights.size:
+            raise StochasticError(
+                "points, weights and values must agree in length")
+        design = basis.evaluate(points)
+        raw = design.T @ (weights[:, None] * values)
+        coefficients = raw / basis.norms_squared[:, None]
+        return cls(basis, coefficients, output_names=output_names)
+
+    @classmethod
+    def fit_regression(cls, basis: HermiteBasis, points: np.ndarray,
+                       values: np.ndarray,
+                       output_names=None) -> "QuadraticPCE":
+        """Least-squares fit (robust alternative when weights are noisy)."""
+        points = np.asarray(points, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if values.ndim == 1:
+            values = values[:, None]
+        design = basis.evaluate(points)
+        if design.shape[0] < design.shape[1]:
+            raise StochasticError(
+                f"{design.shape[0]} samples cannot determine "
+                f"{design.shape[1]} coefficients")
+        coefficients, *_ = np.linalg.lstsq(design, values, rcond=None)
+        return cls(basis, coefficients, output_names=output_names)
+
+    # ------------------------------------------------------------------
+    @property
+    def output_dim(self) -> int:
+        return self.coefficients.shape[1]
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Paper eq. (5): the zeroth coefficient."""
+        return self.coefficients[0].copy()
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Paper eq. (5): ``sum_a>0 x_a^2 <He_a^2>``."""
+        higher = self.coefficients[1:]
+        norms = self.basis.norms_squared[1:, None]
+        return (higher * higher * norms).sum(axis=0)
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.variance)
+
+    def evaluate(self, zeta: np.ndarray) -> np.ndarray:
+        """Evaluate the surrogate at standard-normal points.
+
+        ``zeta`` of shape ``(dim,)`` or ``(m, dim)``; returns
+        ``(output_dim,)`` or ``(m, output_dim)``.
+        """
+        zeta = np.asarray(zeta, dtype=float)
+        single = zeta.ndim == 1
+        design = self.basis.evaluate(zeta)
+        out = design @ self.coefficients
+        return out[0] if single else out
+
+    def sample_statistics(self, rng: np.random.Generator,
+                          num_samples: int = 100000):
+        """Surrogate Monte Carlo: (mean, std) from cheap samples."""
+        zeta = rng.standard_normal((num_samples, self.basis.dim))
+        values = self.evaluate(zeta)
+        return values.mean(axis=0), values.std(axis=0, ddof=1)

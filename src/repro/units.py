@@ -1,0 +1,64 @@
+"""Unit helpers.
+
+The paper specifies geometry in micrometres, frequencies in GHz, currents
+in microamperes and capacitances in femtofarads.  The solver works in SI
+internally; these helpers make example and benchmark code read like the
+paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: One micrometre [m].
+UM = 1.0e-6
+
+#: One nanometre [m].
+NM = 1.0e-9
+
+#: One gigahertz [Hz].
+GHZ = 1.0e9
+
+#: One femtofarad [F].
+FF = 1.0e-15
+
+#: One microampere [A].
+UA = 1.0e-6
+
+#: Doping helper: 1/cm^3 expressed in 1/m^3.
+PER_CM3 = 1.0e6
+
+
+def um(value: float) -> float:
+    """Convert micrometres to metres."""
+    return value * UM
+
+
+def nm(value: float) -> float:
+    """Convert nanometres to metres."""
+    return value * NM
+
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * GHZ
+
+
+def angular_frequency(frequency_hz: float) -> float:
+    """Return ``2*pi*f`` for a frequency in hertz."""
+    return 2.0 * math.pi * frequency_hz
+
+
+def to_femtofarad(capacitance_f: float) -> float:
+    """Convert farads to femtofarads."""
+    return capacitance_f / FF
+
+
+def to_microampere(current_a: float) -> float:
+    """Convert amperes to microamperes."""
+    return current_a / UA
+
+
+def per_cm3(value: float) -> float:
+    """Convert a density given per cubic centimetre to per cubic metre."""
+    return value * PER_CM3

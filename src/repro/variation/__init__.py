@@ -1,0 +1,41 @@
+"""Process-variation models.
+
+Two geometric models (the traditional direct perturbation of Fig. 1(a)
+and the paper's continuous-surface-variation model of Fig. 1(b)),
+the random-doping-fluctuation model, correlated Gaussian random fields
+with correlation length eta, and the grouping machinery of Section IV.B.
+"""
+
+from repro.variation.covariance import (
+    exponential_kernel,
+    squared_exponential_kernel,
+    covariance_matrix,
+)
+from repro.variation.random_field import GaussianRandomField
+from repro.variation.csv_model import (
+    ContinuousSurfaceModel,
+    propagate_axis_displacement,
+)
+from repro.variation.naive_model import NaiveSurfaceModel
+from repro.variation.doping_variation import RandomDopingModel
+from repro.variation.groups import (
+    PerturbationGroup,
+    geometry_groups_from_facets,
+    merge_coplanar_facets,
+    doping_group,
+)
+
+__all__ = [
+    "exponential_kernel",
+    "squared_exponential_kernel",
+    "covariance_matrix",
+    "GaussianRandomField",
+    "ContinuousSurfaceModel",
+    "propagate_axis_displacement",
+    "NaiveSurfaceModel",
+    "RandomDopingModel",
+    "PerturbationGroup",
+    "geometry_groups_from_facets",
+    "merge_coplanar_facets",
+    "doping_group",
+]

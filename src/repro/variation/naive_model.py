@@ -1,0 +1,55 @@
+"""Traditional direct-perturbation model — the Fig. 1(a) baseline.
+
+In the earlier variational A-V solver the geometrical variation "will
+lead to a direct perturbation over the coordinates and the nodes are
+supposed to randomly fluctuate between their upper and lower neighbor
+nodes"; when the fluctuation grows, "it is highly possible for a node to
+exceed the upper or lower boundary, which will lead to the destruction
+of mesh" (Section III.A).  This class reproduces that behaviour so the
+Fig. 1 comparison and the CSV ablation can be run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError, StochasticError
+from repro.mesh.grid import CartesianGrid
+from repro.mesh.perturbed import PerturbedGrid
+
+
+class NaiveSurfaceModel:
+    """Displace only the interface nodes, leaving neighbours fixed."""
+
+    def __init__(self, grid: CartesianGrid):
+        self.grid = grid
+
+    def displacement_field(self, anchors_by_axis: dict) -> np.ndarray:
+        """``(N, 3)`` displacement: anchor values verbatim, zero elsewhere.
+
+        Same signature as
+        :meth:`repro.variation.csv_model.ContinuousSurfaceModel.displacement_field`
+        so the two models are drop-in interchangeable in experiments.
+        """
+        displacement = np.zeros((self.grid.num_nodes, 3), dtype=float)
+        for axis, (node_ids, values) in anchors_by_axis.items():
+            if axis not in (0, 1, 2):
+                raise MeshError(f"axis must be 0, 1 or 2, got {axis}")
+            node_ids = np.asarray(node_ids, dtype=int)
+            values = np.asarray(values, dtype=float)
+            if node_ids.shape != values.shape:
+                raise StochasticError(
+                    "node_ids and values must have the same shape")
+            displacement[node_ids, axis] += values
+        return displacement
+
+    def perturbed_grid(self, anchors_by_axis: dict,
+                       links=None) -> PerturbedGrid:
+        """Build the (possibly destroyed!) perturbed grid for one sample.
+
+        Unlike the CSV model this can produce an invalid mesh; callers
+        should inspect ``perturbed_grid(...).validity()`` — that is the
+        entire point of the Fig. 1 experiment.
+        """
+        displacement = self.displacement_field(anchors_by_axis)
+        return PerturbedGrid(self.grid, displacement, links=links)

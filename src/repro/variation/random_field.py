@@ -1,0 +1,97 @@
+"""Sampling of correlated Gaussian perturbations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StochasticError
+from repro.variation.covariance import covariance_matrix
+
+
+def stable_cholesky(covariance: np.ndarray, jitter: float = 1e-12,
+                    max_tries: int = 8) -> np.ndarray:
+    """Cholesky factor with escalating diagonal jitter.
+
+    Exponential-kernel covariance matrices are often numerically
+    semi-definite once nodes nearly coincide; a relative jitter on the
+    diagonal restores positive definiteness without visibly changing the
+    samples.
+    """
+    covariance = np.asarray(covariance, dtype=float)
+    if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
+        raise StochasticError(
+            f"covariance must be square, got {covariance.shape}")
+    if not np.allclose(covariance, covariance.T, rtol=1e-10, atol=0.0):
+        raise StochasticError("covariance must be symmetric")
+    scale = max(float(np.max(np.abs(np.diag(covariance)))), 1e-300)
+    bump = jitter * scale
+    for _ in range(max_tries):
+        try:
+            return np.linalg.cholesky(
+                covariance + bump * np.eye(covariance.shape[0]))
+        except np.linalg.LinAlgError:
+            bump *= 100.0
+    raise StochasticError(
+        "covariance is not positive semi-definite even after jitter")
+
+
+class GaussianRandomField:
+    """A zero-mean multivariate Gaussian over fixed sample locations.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, k)`` locations of the field samples.
+    sigma:
+        Marginal standard deviation.
+    eta:
+        Correlation length.
+    kernel:
+        Kernel family name (see :mod:`repro.variation.covariance`).
+    """
+
+    def __init__(self, coords: np.ndarray, sigma: float, eta: float,
+                 kernel: str = "exponential"):
+        self.coords = np.asarray(coords, dtype=float)
+        if self.coords.ndim != 2 or self.coords.shape[0] == 0:
+            raise StochasticError(
+                f"coords must be a non-empty 2-D array, "
+                f"got {self.coords.shape}")
+        self.sigma = float(sigma)
+        self.eta = float(eta)
+        self.kernel = kernel
+        self.covariance = covariance_matrix(self.coords, self.sigma,
+                                            self.eta, kernel)
+        self._chol = None
+
+    @property
+    def size(self) -> int:
+        """Number of correlated scalar variables."""
+        return self.coords.shape[0]
+
+    @property
+    def cholesky(self) -> np.ndarray:
+        if self._chol is None:
+            self._chol = stable_cholesky(self.covariance)
+        return self._chol
+
+    def sample(self, rng: np.random.Generator,
+               num_samples: int = 1) -> np.ndarray:
+        """Draw ``num_samples`` field realizations, shape ``(m, n)``."""
+        if num_samples < 1:
+            raise StochasticError(
+                f"num_samples must be >= 1, got {num_samples}")
+        z = rng.standard_normal((num_samples, self.size))
+        return z @ self.cholesky.T
+
+    def transform(self, standard_normals: np.ndarray) -> np.ndarray:
+        """Map iid standard normals to correlated samples.
+
+        Accepts shape ``(n,)`` or ``(m, n)``; used by collocation drivers
+        that control the underlying normals explicitly.
+        """
+        z = np.asarray(standard_normals, dtype=float)
+        if z.shape[-1] != self.size:
+            raise StochasticError(
+                f"expected trailing dimension {self.size}, got {z.shape}")
+        return z @ self.cholesky.T

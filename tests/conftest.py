@@ -1,0 +1,62 @@
+"""Shared fixtures: small structures that solve fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    MetalPlugDesign,
+    TsvDesign,
+    build_metalplug_structure,
+    build_tsv_structure,
+)
+from repro.mesh import CartesianGrid, LinkSet, compute_geometry
+from repro.units import um
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    """A tiny non-uniform grid for mesh/topology tests."""
+    return CartesianGrid(
+        xs=np.array([0.0, 1.0, 2.5, 4.0]) * 1e-6,
+        ys=np.array([0.0, 0.5, 1.5]) * 1e-6,
+        zs=np.array([0.0, 1.0, 2.0, 3.5, 5.0]) * 1e-6,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_links(small_grid):
+    return LinkSet(small_grid)
+
+
+@pytest.fixture(scope="session")
+def small_geometry(small_grid, small_links):
+    return compute_geometry(small_grid, links=small_links)
+
+
+@pytest.fixture(scope="session")
+def coarse_plug_design():
+    """Coarse metal-plug design: fast deterministic solves in tests."""
+    return MetalPlugDesign(max_step=um(2.0))
+
+
+@pytest.fixture(scope="session")
+def coarse_plug_structure(coarse_plug_design):
+    return build_metalplug_structure(coarse_plug_design)
+
+
+@pytest.fixture(scope="session")
+def coarse_tsv_design():
+    """Coarse TSV design: fast deterministic solves in tests."""
+    return TsvDesign(max_step=um(2.5), margin=um(2.5))
+
+
+@pytest.fixture(scope="session")
+def coarse_tsv_structure(coarse_tsv_design):
+    return build_tsv_structure(coarse_tsv_design)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,191 @@
+"""Integration tests of the variational-analysis pipeline.
+
+Scaled-down versions of the paper's experiments: tiny meshes, few
+reduced variables, small Monte-Carlo runs — enough to pin the pipeline
+behaviour (shapes, determinism, MC/SSCM agreement on the mean) while
+staying fast.  The full-size comparisons live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ComparisonTable,
+    nominal_weights,
+    run_mc_analysis,
+    run_sscm_analysis,
+)
+from repro.analysis.problem import VariationalProblem
+from repro.analysis.qoi import (
+    capacitance_column_qoi,
+    interface_current_magnitude,
+)
+from repro.errors import StochasticError
+from repro.experiments import (
+    Table1Config,
+    Table2Config,
+    table1_problem,
+    table2_problem,
+)
+from repro.geometry import MetalPlugDesign, TsvDesign
+from repro.units import um
+
+
+@pytest.fixture(scope="module")
+def tiny_table1():
+    config = Table1Config(design=MetalPlugDesign(max_step=um(2.0)),
+                          rdf_nodes=12)
+    return table1_problem("both", config)
+
+
+@pytest.fixture(scope="module")
+def tiny_caps():
+    return {"plug1_interface": 2, "plug2_interface": 2, "doping": 2}
+
+
+class TestProblemConstruction:
+    def test_variants(self):
+        config = Table1Config(design=MetalPlugDesign(max_step=um(2.0)),
+                              rdf_nodes=8)
+        geo = table1_problem("geometry", config)
+        dop = table1_problem("doping", config)
+        both = table1_problem("both", config)
+        assert len(geo.geometry_groups) == 2 and geo.doping_group is None
+        assert not dop.geometry_groups and dop.doping_group is not None
+        assert len(both.groups) == 3
+
+    def test_bad_variant(self):
+        with pytest.raises(StochasticError):
+            table1_problem("everything")
+
+    def test_table2_groups(self):
+        config = Table2Config(design=TsvDesign(max_step=um(2.5),
+                                               margin=um(2.5)),
+                              rdf_nodes=16)
+        problem = table2_problem(config)
+        # 2 merged y-plane groups + 4 x-facet groups + doping.
+        assert len(problem.geometry_groups) == 6
+        merged = [g for g in problem.geometry_groups
+                  if "+tsv" in g.name]
+        assert len(merged) == 2
+        for g in merged:
+            assert g.size == 2 * min(gg.size
+                                     for gg in problem.geometry_groups)
+
+    def test_problem_without_groups_rejected(self, coarse_plug_structure):
+        with pytest.raises(StochasticError):
+            VariationalProblem(
+                structure=coarse_plug_structure,
+                frequency=1e9,
+                excitations={"plug1": 1.0, "plug2": 0.0},
+                qoi=interface_current_magnitude("plug1"),
+                qoi_names=["J"],
+            )
+
+
+class TestSampleEvaluation:
+    def test_zero_sample_equals_nominal(self, tiny_table1):
+        zero = {g.name: np.zeros(g.size) for g in tiny_table1.groups}
+        value = tiny_table1.evaluate_sample(zero)
+        nominal = tiny_table1.qoi(tiny_table1.nominal_solution())
+        assert value[0] == pytest.approx(nominal[0], rel=1e-9)
+
+    def test_sample_changes_qoi(self, tiny_table1, rng):
+        xi = {g.name: (0.3e-6 * rng.standard_normal(g.size)
+                       if g.kind == "geometry"
+                       else 0.1 * rng.standard_normal(g.size))
+              for g in tiny_table1.groups}
+        value = tiny_table1.evaluate_sample(xi)
+        zero = {g.name: np.zeros(g.size) for g in tiny_table1.groups}
+        nominal = tiny_table1.evaluate_sample(zero)
+        assert value[0] != pytest.approx(nominal[0], rel=1e-12)
+
+    def test_wrong_xi_shape_rejected(self, tiny_table1):
+        xi = {g.name: np.zeros(g.size + 1) for g in tiny_table1.groups}
+        with pytest.raises(StochasticError):
+            tiny_table1.evaluate_sample(xi)
+
+    def test_naive_model_used_when_requested(self):
+        config = Table1Config(design=MetalPlugDesign(max_step=um(2.0)),
+                              rdf_nodes=8, surface_model="naive")
+        problem = table1_problem("geometry", config)
+        assert problem.surface_model == "naive"
+        # Small samples still solve fine under the naive model.
+        xi = {g.name: np.full(g.size, 0.1e-6)
+              for g in problem.geometry_groups}
+        value = problem.evaluate_sample(xi)
+        assert np.isfinite(value[0])
+
+
+class TestWeights:
+    def test_weights_for_every_group(self, tiny_table1):
+        weights = nominal_weights(tiny_table1)
+        assert set(weights) == {g.name for g in tiny_table1.groups}
+        for g in tiny_table1.groups:
+            w = weights[g.name]
+            assert w.shape == (g.size,)
+            assert np.all(w >= 0.0)
+            assert w.max() > 0.0
+
+    def test_interface_weights_peak_under_plugs(self, tiny_table1):
+        """The nominal solution concentrates flux near the driven plug's
+        interface, so interface weights are not uniform."""
+        weights = nominal_weights(tiny_table1)
+        w = weights["plug1_interface"]
+        assert w.max() > 2.0 * w.min()
+
+
+class TestPipelines:
+    def test_sscm_runs_and_is_deterministic(self, tiny_table1, tiny_caps):
+        res1 = run_sscm_analysis(tiny_table1, energy=0.9,
+                                 max_variables_by_group=tiny_caps)
+        res2 = run_sscm_analysis(tiny_table1, energy=0.9,
+                                 max_variables_by_group=tiny_caps)
+        assert res1.dim == res2.dim <= 6
+        np.testing.assert_allclose(res1.mean, res2.mean, rtol=1e-12)
+        np.testing.assert_allclose(res1.std, res2.std, rtol=1e-12)
+        assert res1.num_runs == res1.sscm.grid.num_points
+
+    def test_mc_seed_reproducible(self, tiny_table1):
+        a = run_mc_analysis(tiny_table1, num_runs=4, seed=5)
+        b = run_mc_analysis(tiny_table1, num_runs=4, seed=5)
+        np.testing.assert_allclose(a.mean, b.mean)
+
+    def test_mc_and_sscm_agree_on_mean(self, tiny_table1, tiny_caps):
+        """The headline agreement (Table I): SSCM mean tracks MC."""
+        sscm = run_sscm_analysis(tiny_table1, energy=0.9,
+                                 max_variables_by_group=tiny_caps)
+        mc = run_mc_analysis(tiny_table1, num_runs=40, seed=2)
+        table = ComparisonTable.from_results(mc, sscm)
+        assert table.mean_errors()[0] < 0.02
+
+    def test_comparison_table_renders(self, tiny_table1, tiny_caps):
+        sscm = run_sscm_analysis(tiny_table1, energy=0.9,
+                                 max_variables_by_group=tiny_caps)
+        mc = run_mc_analysis(tiny_table1, num_runs=5, seed=1)
+        table = ComparisonTable.from_results(mc, sscm,
+                                             unit_scale=1e-6,
+                                             unit_label="uA")
+        text = table.render("Table I")
+        assert "J_interface" in text
+        assert "speedup" in text
+
+    def test_pfa_fallback_without_weights(self, tiny_table1, tiny_caps):
+        res = run_sscm_analysis(tiny_table1, method="pfa", energy=0.9,
+                                max_variables_by_group=tiny_caps)
+        assert np.isfinite(res.mean[0])
+
+
+class TestTable2Pipeline:
+    def test_capacitance_qoi_vector(self):
+        config = Table2Config(design=TsvDesign(max_step=um(2.5),
+                                               margin=um(2.5)),
+                              rdf_nodes=12)
+        problem = table2_problem(config)
+        zero = {g.name: np.zeros(g.size) for g in problem.groups}
+        values = problem.evaluate_sample(zero)
+        assert values.shape == (6,)
+        assert values[0] > 0.0          # C_T1 positive
+        assert np.all(values[1:] < 0.0)  # couplings negative
+        # Far-wire coupling smallest in magnitude.
+        assert abs(values[3]) < 0.2 * abs(values[2])

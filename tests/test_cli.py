@@ -1,0 +1,30 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info_metalplug(self, capsys):
+        assert main(["info", "metalplug"]) == 0
+        out = capsys.readouterr().out
+        assert "contacts=['plug1', 'plug2']" in out
+
+    def test_info_tsv(self, capsys):
+        assert main(["info", "tsv"]) == 0
+        out = capsys.readouterr().out
+        assert "tsv1" in out
+
+    def test_solve_metalplug(self, capsys):
+        assert main(["solve", "metalplug"]) == 0
+        out = capsys.readouterr().out
+        assert "I(plug1) [uA]" in out
+
+    def test_solve_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "nothing"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

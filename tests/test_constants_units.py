@@ -1,0 +1,83 @@
+"""Tests for physical constants and unit helpers."""
+
+import math
+
+import pytest
+
+from repro import constants, units
+from repro.errors import ReproError
+
+
+class TestConstants:
+    def test_speed_of_light(self):
+        assert constants.C0 == pytest.approx(2.99792458e8, rel=1e-6)
+
+    def test_vacuum_impedance(self):
+        z0 = math.sqrt(constants.MU0 / constants.EPS0)
+        assert z0 == pytest.approx(376.730, rel=1e-4)
+
+    def test_thermal_voltage_room(self):
+        assert constants.thermal_voltage(300.0) == pytest.approx(
+            0.025852, rel=1e-3)
+        assert constants.VT_ROOM == pytest.approx(
+            constants.thermal_voltage(300.0))
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert constants.thermal_voltage(600.0) == pytest.approx(
+            2.0 * constants.thermal_voltage(300.0))
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(-10.0)
+
+    def test_intrinsic_density_si_order(self):
+        assert 1e15 < constants.NI_SILICON < 1e17
+
+
+class TestUnits:
+    def test_um(self):
+        assert units.um(3.0) == pytest.approx(3.0e-6)
+
+    def test_nm(self):
+        assert units.nm(500.0) == pytest.approx(5.0e-7)
+
+    def test_ghz(self):
+        assert units.ghz(1.0) == pytest.approx(1.0e9)
+
+    def test_angular_frequency(self):
+        assert units.angular_frequency(1.0e9) == pytest.approx(
+            2.0 * math.pi * 1.0e9)
+
+    def test_femtofarad_roundtrip(self):
+        assert units.to_femtofarad(7.05e-15) == pytest.approx(7.05)
+
+    def test_microampere_roundtrip(self):
+        assert units.to_microampere(1.2e-4) == pytest.approx(120.0)
+
+    def test_per_cm3(self):
+        assert units.per_cm3(1.0e15) == pytest.approx(1.0e21)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_reproerror(self):
+        from repro import errors
+
+        for name in ("MeshError", "MeshDestroyedError", "GeometryError",
+                     "MaterialError", "ConvergenceError",
+                     "SingularSystemError", "StochasticError",
+                     "ExtractionError"):
+            assert issubclass(getattr(errors, name), ReproError)
+
+    def test_mesh_destroyed_is_mesh_error(self):
+        from repro.errors import MeshDestroyedError, MeshError
+
+        assert issubclass(MeshDestroyedError, MeshError)
+
+    def test_convergence_error_carries_diagnostics(self):
+        from repro.errors import ConvergenceError
+
+        err = ConvergenceError("failed", iterations=7, residual=1e-3)
+        assert err.iterations == 7
+        assert err.residual == pytest.approx(1e-3)

@@ -1,0 +1,172 @@
+"""Tests for discrete EM operators: gradient, curl, material averaging."""
+
+import numpy as np
+import pytest
+
+from repro.em import (
+    FaceSet,
+    cell_property_array,
+    curl_matrix,
+    gradient_matrix,
+    link_material_areas,
+    link_weighted_coefficients,
+    scalar_laplacian,
+)
+from repro.geometry import Box, Structure
+from repro.materials import doped_silicon, silicon_dioxide, tungsten
+from repro.mesh import CartesianGrid, LinkSet, compute_geometry
+
+
+class TestGradient:
+    def test_gradient_of_constant_is_zero(self, small_grid, small_links):
+        G = gradient_matrix(small_links)
+        v = np.full(small_grid.num_nodes, 3.7)
+        np.testing.assert_allclose(G @ v, 0.0, atol=1e-12)
+
+    def test_gradient_of_linear_function(self, small_grid, small_links):
+        G = gradient_matrix(small_links)
+        coords = small_grid.node_coords()
+        v = 2.0 * coords[:, 0]  # V = 2x
+        dv = G @ v
+        x_block = small_links.axis_slice(0)
+        geo = compute_geometry(small_grid, links=small_links)
+        np.testing.assert_allclose(dv[x_block],
+                                   2.0 * geo.link_lengths[x_block],
+                                   rtol=1e-12)
+        # y/z links see no change.
+        np.testing.assert_allclose(dv[small_links.axis_slice(1)], 0.0,
+                                   atol=1e-18)
+
+
+class TestCurl:
+    def test_curl_grad_is_zero(self, small_grid, small_links):
+        """The discrete exactness identity C @ G = 0."""
+        G = gradient_matrix(small_links)
+        C = curl_matrix(small_grid, small_links)
+        product = C @ G
+        assert abs(product).max() == 0.0
+
+    def test_face_counts(self, small_grid):
+        faces = FaceSet(small_grid)
+        nx, ny, nz = small_grid.shape
+        assert faces.counts[0] == nx * (ny - 1) * (nz - 1)
+        assert faces.counts[1] == (nx - 1) * ny * (nz - 1)
+        assert faces.counts[2] == (nx - 1) * (ny - 1) * nz
+        assert faces.num_faces == sum(faces.counts)
+
+    def test_each_face_has_four_edges(self, small_grid, small_links):
+        C = curl_matrix(small_grid, small_links)
+        per_row = np.diff(C.indptr)
+        assert np.all(per_row == 4)
+
+    def test_face_adjacent_cells(self, small_grid):
+        faces = FaceSet(small_grid)
+        adj = faces.face_adjacent_cells(0)
+        # x-faces at i=0 and i=nx-1 have one missing side.
+        boundary = (adj < 0).any(axis=1)
+        assert boundary.sum() > 0
+        interior = ~boundary
+        assert np.all(adj[interior] >= 0)
+
+
+def _layered_structure():
+    """Half oxide / half silicon along z with a metal block."""
+    grid = CartesianGrid(np.linspace(0, 2e-6, 3), np.linspace(0, 2e-6, 3),
+                         np.linspace(0, 2e-6, 3))
+    s = Structure(grid, background=silicon_dioxide())
+    s.add_box(doped_silicon(1e21), Box((0, 0, 0), (2e-6, 2e-6, 1e-6)))
+    return s, grid
+
+
+class TestMaterialAveraging:
+    def test_cell_property_array(self):
+        s, grid = _layered_structure()
+        eps = cell_property_array(s, lambda m: m.eps_r)
+        assert set(np.unique(eps)) == {3.9, 11.7}
+
+    def test_uniform_material_coefficient(self, small_grid, small_links):
+        geo = compute_geometry(small_grid, links=small_links)
+        cells = np.full(small_grid.num_cells, 2.5)
+        weighted = link_weighted_coefficients(geo, cells)
+        np.testing.assert_allclose(weighted, 2.5 * geo.link_dual_areas,
+                                   rtol=1e-12)
+
+    def test_mixed_material_average_between_bounds(self):
+        s, grid = _layered_structure()
+        links = LinkSet(grid)
+        geo = compute_geometry(grid, links=links)
+        eps = cell_property_array(s, lambda m: m.eps_r)
+        weighted = link_weighted_coefficients(geo, eps) / geo.link_dual_areas
+        assert np.all(weighted >= 3.9 - 1e-9)
+        assert np.all(weighted <= 11.7 + 1e-9)
+        # Links straddling the interface plane average the two.
+        z_block = links.axis_slice(2)
+        mixed = np.sum((weighted[z_block] > 3.9 + 1e-9)
+                       & (weighted[z_block] < 11.7 - 1e-9))
+        assert mixed == 0  # z-links are within one layer here
+
+    def test_material_areas_partition(self):
+        s, grid = _layered_structure()
+        links = LinkSet(grid)
+        geo = compute_geometry(grid, links=links)
+        _, semi, insul = s.cell_kind_masks()
+        a_semi = link_material_areas(geo, semi)
+        a_rest = link_material_areas(geo, ~semi)
+        np.testing.assert_allclose(a_semi + a_rest, geo.link_dual_areas,
+                                   rtol=1e-12)
+
+    def test_laplacian_row_sums_zero(self, small_grid, small_links):
+        geo = compute_geometry(small_grid, links=small_links)
+        g = np.ones(small_links.num_links)
+        lap = scalar_laplacian(geo, g)
+        row_sums = np.asarray(abs(lap @ np.ones(small_grid.num_nodes)))
+        np.testing.assert_allclose(row_sums, 0.0, atol=1e-12)
+
+    def test_laplacian_symmetric_for_scalar_coefficients(self, small_grid,
+                                                         small_links):
+        geo = compute_geometry(small_grid, links=small_links)
+        rng = np.random.default_rng(0)
+        g = rng.uniform(1.0, 2.0, small_links.num_links)
+        lap = scalar_laplacian(geo, g)
+        assert abs(lap - lap.T).max() < 1e-15
+
+
+class TestLaplacianPhysics:
+    def test_1d_voltage_divider(self):
+        """Two dielectric layers in series split the voltage by eps."""
+        grid = CartesianGrid(np.linspace(0, 1e-6, 2),
+                             np.linspace(0, 1e-6, 2),
+                             np.linspace(0, 2e-6, 5))
+        from repro.materials.library import silicon_nitride
+
+        s = Structure(grid, background=silicon_dioxide())  # eps 3.9
+        s.add_box(silicon_nitride(),
+                  Box((0, 0, 1e-6), (1e-6, 1e-6, 2e-6)))
+        links = LinkSet(grid)
+        geo = compute_geometry(grid, links=links)
+        from repro.em.operators import (cell_property_array,
+                                        link_weighted_coefficients)
+        eps = cell_property_array(s, lambda m: m.permittivity)
+        g = link_weighted_coefficients(geo, eps) / geo.link_lengths
+        lap = scalar_laplacian(geo, g).tolil()
+        # Dirichlet: V=0 at z-, V=1 at z+.
+        bottom = grid.boundary_node_ids("z-")
+        top = grid.boundary_node_ids("z+")
+        v = np.zeros(grid.num_nodes)
+        v[top] = 1.0
+        free = np.setdiff1d(np.arange(grid.num_nodes),
+                            np.concatenate([bottom, top]))
+        import scipy.sparse as sp
+        import scipy.sparse.linalg as spla
+        A = lap.tocsr()
+        rhs = -(A[free][:, np.concatenate([bottom, top])]
+                @ v[np.concatenate([bottom, top])])
+        v[free] = spla.spsolve(A[free][:, free].tocsc(), rhs)
+        # Continuity of displacement: field ratio inverse to eps ratio.
+        # Voltage at the material interface (z = 1 um):
+        mid = grid.nodes_in_box((0, 0, 1e-6 - 1e-12),
+                                (1e-6, 1e-6, 1e-6 + 1e-12))
+        v_mid = v[mid].mean()
+        eps1, eps2 = 3.9, 7.5
+        expected = (1.0 / eps1) / (1.0 / eps1 + 1.0 / eps2)
+        assert v_mid == pytest.approx(expected, rel=1e-6)

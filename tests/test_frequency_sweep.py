@@ -1,0 +1,50 @@
+"""Tests for the frequency-sweep / admittance utility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.solver.sweep import frequency_sweep
+
+
+@pytest.fixture(scope="module")
+def plug_sweep(coarse_plug_structure):
+    return frequency_sweep(coarse_plug_structure,
+                           [1.0e8, 1.0e9, 5.0e9])
+
+
+class TestSweep:
+    def test_shapes(self, plug_sweep):
+        assert plug_sweep.admittance.shape == (3, 2, 2)
+        assert plug_sweep.ports == ["plug1", "plug2"]
+        assert np.all(np.diff(plug_sweep.frequencies) > 0)
+
+    def test_reciprocity(self, plug_sweep):
+        """Y_12 = Y_21 (passive reciprocal structure)."""
+        y12 = plug_sweep.transfer_admittance("plug1", "plug2")
+        y21 = plug_sweep.transfer_admittance("plug2", "plug1")
+        np.testing.assert_allclose(y12, y21, rtol=1e-6)
+
+    def test_row_sums_vanish(self, plug_sweep):
+        """Driving every port at the same voltage pushes no current
+        (only two ports here: Y11 + Y12 ~ leakage to nothing)."""
+        y = plug_sweep.admittance
+        residual = np.abs(y.sum(axis=2)) / np.abs(y[:, 0, 0])[:, None]
+        assert residual.max() < 0.05
+
+    def test_conductance_positive(self, plug_sweep):
+        assert np.all(plug_sweep.input_admittance("plug1").real > 0.0)
+
+    def test_susceptance_grows_with_frequency(self, plug_sweep):
+        b = plug_sweep.input_admittance("plug1").imag
+        assert b[-1] > b[0]
+
+    def test_effective_capacitance_positive(self, plug_sweep):
+        c = plug_sweep.effective_capacitance("plug1")
+        assert np.all(c > 0.0)
+
+    def test_validation(self, coarse_plug_structure, plug_sweep):
+        with pytest.raises(GeometryError):
+            frequency_sweep(coarse_plug_structure, [])
+        with pytest.raises(GeometryError):
+            plug_sweep.port_index("nope")

@@ -1,0 +1,220 @@
+"""Tests for material models, doping profiles and carrier physics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import NI_SILICON, VT_ROOM
+from repro.errors import MaterialError
+from repro.materials import (
+    GaussianDoping,
+    Insulator,
+    Metal,
+    MaterialKind,
+    NodePerturbedDoping,
+    Semiconductor,
+    UniformDoping,
+    copper,
+    doped_silicon,
+    equilibrium_carriers,
+    equilibrium_potential,
+    intrinsic_density,
+    mobility_caughey_thomas,
+    silicon_dioxide,
+    srh_derivatives,
+    srh_recombination,
+    tungsten,
+    vacuum,
+)
+from repro.materials.material import MaterialTable
+from repro.materials.physics import electron_mobility_si, hole_mobility_si
+
+
+class TestMaterialDataclasses:
+    def test_kinds(self):
+        assert copper().kind is MaterialKind.METAL
+        assert silicon_dioxide().kind is MaterialKind.INSULATOR
+        assert doped_silicon(1e21).kind is MaterialKind.SEMICONDUCTOR
+
+    def test_admittivity_metal_dominated_by_sigma(self):
+        metal = copper()
+        adm = metal.admittivity(2.0 * np.pi * 1.0e9)
+        assert adm.real == pytest.approx(5.8e7)
+        assert abs(adm.imag) < 1.0
+
+    def test_admittivity_insulator_is_pure_imaginary(self):
+        oxide = silicon_dioxide()
+        adm = oxide.admittivity(2.0 * np.pi * 1.0e9)
+        assert adm.real == 0.0
+        assert adm.imag > 0.0
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(MaterialError):
+            Insulator(name="bad", eps_r=-1.0)
+
+    def test_metal_needs_positive_sigma(self):
+        with pytest.raises(MaterialError):
+            Metal(name="bad", eps_r=1.0, sigma=0.0)
+
+    def test_semiconductor_validation(self):
+        with pytest.raises(MaterialError):
+            Semiconductor(name="bad", eps_r=11.7, ni=-1.0)
+        with pytest.raises(MaterialError):
+            Semiconductor(name="bad", eps_r=11.7, mu_n=0.0)
+        with pytest.raises(MaterialError):
+            Semiconductor(name="bad", eps_r=11.7, tau_n=0.0)
+
+    def test_net_doping_sign(self):
+        n_type = doped_silicon(1.0e21)
+        p_type = doped_silicon(-1.0e21)
+        assert n_type.net_doping == pytest.approx(1.0e21)
+        assert p_type.net_doping == pytest.approx(-1.0e21)
+        assert p_type.acceptor_density == pytest.approx(1.0e21)
+
+    def test_library_names_unique(self):
+        mats = [copper(), tungsten(), silicon_dioxide(), vacuum("air"),
+                doped_silicon(1e21)]
+        names = [m.name for m in mats]
+        assert len(set(names)) == len(names)
+
+
+class TestMaterialTable:
+    def test_add_is_idempotent_by_name(self):
+        table = MaterialTable()
+        idx1 = table.add(copper())
+        idx2 = table.add(copper())
+        assert idx1 == idx2 == 0
+        assert len(table) == 1
+
+    def test_conflicting_definition_rejected(self):
+        table = MaterialTable()
+        table.add(copper())
+        with pytest.raises(MaterialError):
+            table.add(Metal(name="copper", eps_r=1.0, sigma=1.0e7))
+
+    def test_id_of_unknown_raises(self):
+        table = MaterialTable()
+        with pytest.raises(MaterialError):
+            table.id_of("nope")
+
+    def test_getitem_out_of_range(self):
+        table = MaterialTable()
+        with pytest.raises(MaterialError):
+            table[3]
+
+
+class TestCarrierPhysics:
+    def test_intrinsic_density_anchored_at_300k(self):
+        assert intrinsic_density(300.0) == pytest.approx(NI_SILICON)
+
+    def test_intrinsic_density_increases_with_temperature(self):
+        assert intrinsic_density(350.0) > intrinsic_density(300.0)
+
+    def test_mobility_limits(self):
+        lo = mobility_caughey_thomas(0.0, 0.005, 0.14, 1e23, 0.7)
+        hi = mobility_caughey_thomas(1e28, 0.005, 0.14, 1e23, 0.7)
+        assert lo == pytest.approx(0.14)
+        assert hi == pytest.approx(0.005, rel=0.05)
+
+    def test_si_mobility_values_sane(self):
+        assert 0.1 < electron_mobility_si(1e20) < 0.15
+        assert 0.03 < hole_mobility_si(1e20) < 0.05
+        assert electron_mobility_si(1e26) < electron_mobility_si(1e20)
+
+    def test_mobility_rejects_negative_doping(self):
+        with pytest.raises(ValueError):
+            mobility_caughey_thomas(-1.0, 0.005, 0.14, 1e23, 0.7)
+
+    def test_srh_zero_at_equilibrium(self):
+        n, p = equilibrium_carriers(0.2, NI_SILICON, VT_ROOM)
+        u = srh_recombination(n, p, NI_SILICON, 1e-6, 1e-6)
+        assert u == pytest.approx(0.0, abs=1e-3 * NI_SILICON / 1e-6)
+
+    def test_srh_sign(self):
+        ni = NI_SILICON
+        excess = srh_recombination(10 * ni, 10 * ni, ni, 1e-6, 1e-6)
+        depleted = srh_recombination(0.1 * ni, 0.1 * ni, ni, 1e-6, 1e-6)
+        assert excess > 0.0
+        assert depleted < 0.0
+
+    def test_srh_derivatives_match_finite_difference(self):
+        ni = NI_SILICON
+        n0, p0 = 5.0 * ni, 0.3 * ni
+        du_dn, du_dp = srh_derivatives(n0, p0, ni, 1e-6, 2e-6)
+        h = 1e-6 * ni
+        fd_n = (srh_recombination(n0 + h, p0, ni, 1e-6, 2e-6)
+                - srh_recombination(n0 - h, p0, ni, 1e-6, 2e-6)) / (2 * h)
+        fd_p = (srh_recombination(n0, p0 + h, ni, 1e-6, 2e-6)
+                - srh_recombination(n0, p0 - h, ni, 1e-6, 2e-6)) / (2 * h)
+        assert du_dn == pytest.approx(fd_n, rel=1e-5)
+        assert du_dp == pytest.approx(fd_p, rel=1e-5)
+
+    @given(st.floats(min_value=-1e24, max_value=1e24))
+    @settings(max_examples=50, deadline=None)
+    def test_equilibrium_consistency(self, net_doping):
+        """Boltzmann equilibrium satisfies mass action and neutrality."""
+        v = equilibrium_potential(net_doping, NI_SILICON, VT_ROOM)
+        n, p = equilibrium_carriers(v, NI_SILICON, VT_ROOM)
+        assert n * p == pytest.approx(NI_SILICON ** 2, rel=1e-6)
+        # Charge neutrality: n - p = net doping.
+        assert n - p == pytest.approx(net_doping, rel=1e-6,
+                                      abs=1e-3 * NI_SILICON)
+
+    def test_equilibrium_potential_sign(self):
+        assert equilibrium_potential(1e21, NI_SILICON, VT_ROOM) > 0.0
+        assert equilibrium_potential(-1e21, NI_SILICON, VT_ROOM) < 0.0
+
+
+class TestDopingProfiles:
+    def _coords(self, n=10):
+        rng = np.random.default_rng(0)
+        return rng.uniform(0.0, 1e-5, size=(n, 3))
+
+    def test_uniform(self):
+        prof = UniformDoping(2.5e21)
+        coords = self._coords()
+        np.testing.assert_allclose(prof.net_doping(coords), 2.5e21)
+        np.testing.assert_allclose(prof.total_doping(coords), 2.5e21)
+
+    def test_uniform_rejects_bad_coords(self):
+        with pytest.raises(MaterialError):
+            UniformDoping(1e21).net_doping(np.zeros((5, 2)))
+
+    def test_gaussian_peak_location(self):
+        prof = GaussianDoping(background=-1e21, peak=1e23, axis=2,
+                              center=5e-6, sigma=1e-6)
+        at_peak = prof.net_doping(np.array([[0.0, 0.0, 5e-6]]))
+        far = prof.net_doping(np.array([[0.0, 0.0, 0.0]]))
+        assert at_peak[0] == pytest.approx(-1e21 + 1e23)
+        assert far[0] == pytest.approx(-1e21, rel=1e-6)
+
+    def test_gaussian_validation(self):
+        with pytest.raises(MaterialError):
+            GaussianDoping(0.0, 1.0, axis=5, center=0.0, sigma=1.0)
+        with pytest.raises(MaterialError):
+            GaussianDoping(0.0, 1.0, axis=0, center=0.0, sigma=0.0)
+
+    def test_node_perturbed_applies_multipliers(self):
+        base = UniformDoping(1.0e21)
+        prof = NodePerturbedDoping(base, node_ids=[1, 3],
+                                   multipliers=[1.2, 0.8], num_nodes=5)
+        coords = np.zeros((5, 3))
+        values = prof.net_doping(coords)
+        np.testing.assert_allclose(
+            values, [1.0e21, 1.2e21, 1.0e21, 0.8e21, 1.0e21])
+
+    def test_node_perturbed_validation(self):
+        base = UniformDoping(1.0e21)
+        with pytest.raises(MaterialError):
+            NodePerturbedDoping(base, [0], [1.0, 2.0], num_nodes=5)
+        with pytest.raises(MaterialError):
+            NodePerturbedDoping(base, [9], [1.0], num_nodes=5)
+        with pytest.raises(MaterialError):
+            NodePerturbedDoping(base, [0], [-0.5], num_nodes=5)
+
+    def test_node_perturbed_coords_length_checked(self):
+        base = UniformDoping(1.0e21)
+        prof = NodePerturbedDoping(base, [0], [1.1], num_nodes=5)
+        with pytest.raises(MaterialError):
+            prof.net_doping(np.zeros((4, 3)))

@@ -1,0 +1,178 @@
+"""Tests for links, dual geometry and octant volumes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeshError
+from repro.mesh import CartesianGrid, LinkSet, compute_geometry
+from repro.mesh.dual import node_masked_volumes
+
+
+class TestLinkSet:
+    def test_counts_and_axes(self, small_grid, small_links):
+        assert small_links.num_links == small_grid.num_links
+        for axis in range(3):
+            block = small_links.axis_slice(axis)
+            assert np.all(small_links.axis[block] == axis)
+
+    def test_endpoints_differ_along_axis_only(self, small_grid,
+                                              small_links):
+        ia, ja, ka = small_grid.node_ijk(small_links.node_a)
+        ib, jb, kb = small_grid.node_ijk(small_links.node_b)
+        deltas = np.stack([ib - ia, jb - ja, kb - ka], axis=1)
+        for l in range(small_links.num_links):
+            axis = small_links.axis[l]
+            expected = np.zeros(3, dtype=int)
+            expected[axis] = 1
+            np.testing.assert_array_equal(deltas[l], expected)
+
+    def test_link_id_roundtrip(self, small_grid, small_links):
+        lid = small_links.link_id(1, 0, 1, 2)
+        assert small_links.axis[lid] == 1
+        a = small_links.node_a[lid]
+        assert small_grid.node_ijk(a) == (0, 1, 2)
+
+    def test_link_id_bounds(self, small_links):
+        with pytest.raises(MeshError):
+            small_links.link_id(0, 3, 0, 0)  # only nx-1=3 x-links per row
+        with pytest.raises(MeshError):
+            small_links.axis_slice(5)
+
+    def test_adjacent_cells_share_the_link(self, small_grid, small_links):
+        """Every adjacent cell must contain both link endpoints."""
+        for lid in range(small_links.num_links):
+            a = np.array(small_grid.node_ijk(small_links.node_a[lid]))
+            b = np.array(small_grid.node_ijk(small_links.node_b[lid]))
+            for cid in small_links.cells[lid]:
+                if cid < 0:
+                    continue
+                c = np.array(small_grid.cell_ijk(cid))
+                # Cell (i,j,k) spans nodes i..i+1 etc.
+                assert np.all(a >= c) and np.all(a <= c + 1)
+                assert np.all(b >= c) and np.all(b <= c + 1)
+
+    def test_interior_links_have_four_cells(self, small_grid, small_links):
+        interior = 0
+        for lid in range(small_links.num_links):
+            if np.all(small_links.cells[lid] >= 0):
+                interior += 1
+        assert interior > 0
+
+    def test_links_touching_nodes(self, small_grid, small_links):
+        node = small_grid.node_id(1, 1, 1)
+        touching = small_links.links_touching_nodes([node])
+        # An interior node has 6 incident links.
+        assert touching.size == 6
+
+
+class TestDualGeometry:
+    def test_volume_partition_exact(self, small_grid, small_geometry):
+        assert small_geometry.node_volumes.sum() == pytest.approx(
+            small_grid.volume, rel=1e-12)
+
+    def test_quadrants_sum_to_dual_area(self, small_geometry):
+        np.testing.assert_allclose(
+            small_geometry.link_quadrant_areas.sum(axis=1),
+            small_geometry.link_dual_areas, rtol=1e-12)
+
+    def test_link_lengths_match_axis_spacing(self, small_grid,
+                                             small_geometry):
+        links = small_geometry.links
+        x_block = links.axis_slice(0)
+        lengths = small_geometry.link_lengths[x_block]
+        dx = np.diff(small_grid.xs)
+        # Every x-link length equals one of the x spacings.
+        for value in np.unique(np.round(lengths, 15)):
+            assert np.any(np.isclose(dx, value))
+
+    def test_boundary_quadrants_are_zero(self, small_grid, small_geometry):
+        links = small_geometry.links
+        missing = links.cells < 0
+        np.testing.assert_allclose(
+            small_geometry.link_quadrant_areas[missing], 0.0)
+
+    def test_coords_shape_checked(self, small_grid):
+        with pytest.raises(MeshError):
+            compute_geometry(small_grid, coords=np.zeros((3, 3)))
+
+    def test_destroyed_mesh_raises(self, small_grid):
+        coords = small_grid.node_coords().copy()
+        # Push node (1,0,0) past node (2,0,0) in x.
+        nid = small_grid.node_id(1, 0, 0)
+        coords[nid, 0] = small_grid.xs[2] + 1e-6
+        with pytest.raises(MeshError):
+            compute_geometry(small_grid, coords=coords)
+
+    def test_masked_volumes_total(self, small_grid, small_geometry):
+        all_cells = np.ones(small_grid.num_cells, dtype=bool)
+        vols = node_masked_volumes(small_geometry, all_cells)
+        np.testing.assert_allclose(vols, small_geometry.node_volumes,
+                                   rtol=1e-12)
+
+    def test_masked_volumes_empty(self, small_grid, small_geometry):
+        none = np.zeros(small_grid.num_cells, dtype=bool)
+        np.testing.assert_allclose(
+            node_masked_volumes(small_geometry, none), 0.0)
+
+    def test_masked_volumes_partition(self, small_grid, small_geometry,
+                                      rng):
+        mask = rng.random(small_grid.num_cells) < 0.5
+        v1 = node_masked_volumes(small_geometry, mask)
+        v2 = node_masked_volumes(small_geometry, ~mask)
+        np.testing.assert_allclose(v1 + v2, small_geometry.node_volumes,
+                                   rtol=1e-12)
+
+    def test_masked_volumes_shape_checked(self, small_geometry):
+        with pytest.raises(MeshError):
+            node_masked_volumes(small_geometry, np.ones(3, dtype=bool))
+
+
+class TestPerturbedGeometry:
+    def test_axis_displacement_changes_lengths(self, small_grid):
+        from repro.mesh import PerturbedGrid
+
+        nid = small_grid.node_id(1, 1, 1)
+        pg = PerturbedGrid.from_axis_displacement(
+            small_grid, [nid], axis=0, values=[0.2e-6])
+        geo = pg.geometry()
+        nominal = compute_geometry(small_grid)
+        assert not np.allclose(geo.link_lengths, nominal.link_lengths)
+        # Total volume is preserved by an interior displacement
+        # (the dual cells redistribute).
+        assert geo.node_volumes.sum() == pytest.approx(
+            small_grid.volume, rel=1e-9)
+
+    def test_displacement_shape_checked(self, small_grid):
+        from repro.mesh import PerturbedGrid
+
+        with pytest.raises(MeshError):
+            PerturbedGrid(small_grid, displacement=np.zeros((5, 3)))
+
+    def test_with_displacement_shares_links(self, small_grid):
+        from repro.mesh import PerturbedGrid
+
+        pg = PerturbedGrid(small_grid)
+        pg2 = pg.with_displacement(
+            np.zeros((small_grid.num_nodes, 3)))
+        assert pg2.links is pg.links
+
+
+@given(seed=st.integers(0, 500), scale=st.floats(0.0, 0.2))
+@settings(max_examples=20, deadline=None)
+def test_geometry_positive_under_small_perturbations(seed, scale):
+    """Any sub-cell perturbation keeps all geometric quantities positive."""
+    grid = CartesianGrid(np.linspace(0, 4e-6, 5), np.linspace(0, 3e-6, 4),
+                         np.linspace(0, 3e-6, 4))
+    rng = np.random.default_rng(seed)
+    min_step = 1e-6
+    displacement = rng.uniform(-scale * min_step, scale * min_step,
+                               size=(grid.num_nodes, 3))
+    coords = grid.node_coords() + displacement
+    geo = compute_geometry(grid, coords=coords)
+    assert np.all(geo.node_volumes > 0.0)
+    assert np.all(geo.link_lengths > 0.0)
+    assert np.all(geo.link_dual_areas > 0.0)
+    # Volume partition still holds to first order: total within 25%.
+    assert geo.node_volumes.sum() == pytest.approx(grid.volume, rel=0.25)

@@ -1,0 +1,158 @@
+"""Tests for the Cartesian grid: indexing, coordinates, queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeshError
+from repro.mesh import CartesianGrid
+
+
+class TestConstruction:
+    def test_rejects_short_axis(self):
+        with pytest.raises(MeshError):
+            CartesianGrid([0.0], [0.0, 1.0], [0.0, 1.0])
+
+    def test_rejects_non_monotone_axis(self):
+        with pytest.raises(MeshError):
+            CartesianGrid([0.0, 2.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+
+    def test_rejects_duplicate_coordinates(self):
+        with pytest.raises(MeshError):
+            CartesianGrid([0.0, 1.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+
+    def test_rejects_2d_axis(self):
+        with pytest.raises(MeshError):
+            CartesianGrid(np.zeros((2, 2)), [0.0, 1.0], [0.0, 1.0])
+
+    def test_counts(self, small_grid):
+        assert small_grid.shape == (4, 3, 5)
+        assert small_grid.num_nodes == 60
+        assert small_grid.num_cells == 3 * 2 * 4
+        # links: (nx-1)nynz + nx(ny-1)nz + nxny(nz-1)
+        assert small_grid.num_links == 3 * 3 * 5 + 4 * 2 * 5 + 4 * 3 * 4
+
+    def test_volume(self, small_grid):
+        assert small_grid.volume == pytest.approx(4.0 * 1.5 * 5.0 * 1e-18)
+
+
+class TestIndexing:
+    def test_node_id_roundtrip(self, small_grid):
+        for i in range(small_grid.nx):
+            for j in range(small_grid.ny):
+                for k in range(small_grid.nz):
+                    nid = small_grid.node_id(i, j, k)
+                    assert small_grid.node_ijk(nid) == (i, j, k)
+
+    def test_node_id_vectorized(self, small_grid):
+        ids = small_grid.node_id(np.array([0, 1]), np.array([0, 2]),
+                                 np.array([0, 4]))
+        i, j, k = small_grid.node_ijk(ids)
+        np.testing.assert_array_equal(i, [0, 1])
+        np.testing.assert_array_equal(j, [0, 2])
+        np.testing.assert_array_equal(k, [0, 4])
+
+    def test_node_id_bounds(self, small_grid):
+        with pytest.raises(MeshError):
+            small_grid.node_id(4, 0, 0)
+        with pytest.raises(MeshError):
+            small_grid.node_id(0, -1, 0)
+        with pytest.raises(MeshError):
+            small_grid.node_ijk(small_grid.num_nodes)
+
+    def test_cell_id_roundtrip(self, small_grid):
+        ncx, ncy, ncz = small_grid.cell_shape
+        for i in range(ncx):
+            for j in range(ncy):
+                for k in range(ncz):
+                    cid = small_grid.cell_id(i, j, k)
+                    ci, cj, ck = small_grid.cell_ijk(cid)
+                    assert (ci, cj, ck) == (i, j, k)
+
+    def test_cell_id_bounds(self, small_grid):
+        with pytest.raises(MeshError):
+            small_grid.cell_id(3, 0, 0)
+        with pytest.raises(MeshError):
+            small_grid.cell_ijk(-1)
+
+
+class TestCoordinates:
+    def test_node_coords_order(self, small_grid):
+        coords = small_grid.node_coords()
+        # Node 1 differs from node 0 only in x (x fastest).
+        assert coords[1, 0] == pytest.approx(small_grid.xs[1])
+        assert coords[1, 1] == pytest.approx(small_grid.ys[0])
+        nid = small_grid.node_id(2, 1, 3)
+        np.testing.assert_allclose(
+            coords[nid],
+            [small_grid.xs[2], small_grid.ys[1], small_grid.zs[3]])
+
+    def test_fields_roundtrip(self, small_grid):
+        coords = small_grid.node_coords()
+        X, Y, Z = small_grid.flat_to_fields(coords)
+        back = small_grid.fields_to_flat(X, Y, Z)
+        np.testing.assert_allclose(back, coords)
+
+    def test_field_flatten_roundtrip(self, small_grid):
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=small_grid.shape)
+        flat = small_grid.flat_field(field)
+        np.testing.assert_allclose(small_grid.unflatten_field(flat), field)
+
+    def test_flat_field_shape_checked(self, small_grid):
+        with pytest.raises(MeshError):
+            small_grid.flat_field(np.zeros((2, 2, 2)))
+        with pytest.raises(MeshError):
+            small_grid.unflatten_field(np.zeros(3))
+
+    def test_coordinate_fields_match_axes(self, small_grid):
+        X, Y, Z = small_grid.node_coordinate_fields()
+        np.testing.assert_allclose(X[:, 0, 0], small_grid.xs)
+        np.testing.assert_allclose(Y[0, :, 0], small_grid.ys)
+        np.testing.assert_allclose(Z[0, 0, :], small_grid.zs)
+
+
+class TestQueries:
+    def test_nodes_in_box(self, small_grid):
+        ids = small_grid.nodes_in_box((0.0, 0.0, 0.0),
+                                      (1.0e-6, 0.5e-6, 1.0e-6),
+                                      tol=1e-12)
+        # x in {0,1}, y in {0,0.5}, z in {0,1} um -> 2*2*2 nodes
+        assert ids.size == 8
+
+    def test_cells_in_box_full_domain(self, small_grid):
+        lo = (small_grid.xs[0], small_grid.ys[0], small_grid.zs[0])
+        hi = (small_grid.xs[-1], small_grid.ys[-1], small_grid.zs[-1])
+        assert small_grid.cells_in_box(lo, hi).size == small_grid.num_cells
+
+    def test_boundary_node_ids(self, small_grid):
+        for face, count in (("x-", 15), ("x+", 15), ("y-", 20),
+                            ("y+", 20), ("z-", 12), ("z+", 12)):
+            ids = small_grid.boundary_node_ids(face)
+            assert ids.size == count
+        with pytest.raises(MeshError):
+            small_grid.boundary_node_ids("w+")
+
+    def test_boundary_nodes_have_right_coordinate(self, small_grid):
+        coords = small_grid.node_coords()
+        ids = small_grid.boundary_node_ids("x+")
+        np.testing.assert_allclose(coords[ids, 0], small_grid.xs[-1])
+
+
+@given(nx=st.integers(2, 6), ny=st.integers(2, 6), nz=st.integers(2, 6),
+       seed=st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_node_id_bijection_property(nx, ny, nz, seed):
+    """node_id is a bijection onto [0, num_nodes)."""
+    rng = np.random.default_rng(seed)
+    axes = [np.sort(rng.uniform(0.0, 1.0, size=n)) for n in (nx, ny, nz)]
+    for a in axes:
+        a += np.arange(a.size) * 1e-3  # enforce strict monotonicity
+    grid = CartesianGrid(*axes)
+    I, J, K = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz),
+                          indexing="ij")
+    ids = grid.node_id(I.ravel(), J.ravel(), K.ravel())
+    assert np.unique(ids).size == grid.num_nodes
+    assert ids.min() == 0
+    assert ids.max() == grid.num_nodes - 1

@@ -1,0 +1,127 @@
+"""Tests for mesh validity checks and axis generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeshDestroyedError, MeshError
+from repro.mesh import (
+    CartesianGrid,
+    check_mesh_validity,
+    graded_axis,
+    uniform_axis,
+)
+from repro.mesh.refine import axis_from_breakpoints
+
+
+class TestValidity:
+    def test_nominal_grid_is_valid(self, small_grid):
+        report = check_mesh_validity(small_grid, small_grid.node_coords())
+        assert report.valid
+        assert report.num_violations == 0
+        assert report.violation_fraction == 0.0
+        assert report.min_spacing > 0.0
+        report.require_valid()  # must not raise
+
+    def test_inverted_node_detected(self, small_grid):
+        coords = small_grid.node_coords().copy()
+        nid = small_grid.node_id(1, 1, 1)
+        coords[nid, 0] = small_grid.xs[3]  # past the i=2 neighbour
+        report = check_mesh_validity(small_grid, coords)
+        assert not report.valid
+        assert report.num_violations >= 1
+        assert report.violations_per_axis[0] >= 1
+        assert report.violations_per_axis[1] == 0
+        with pytest.raises(MeshDestroyedError):
+            report.require_valid()
+
+    def test_min_spacing_reported(self, small_grid):
+        coords = small_grid.node_coords().copy()
+        nid = small_grid.node_id(1, 0, 0)
+        # Move within 10% of the neighbour: still valid but tight.
+        coords[nid, 0] = small_grid.xs[2] - 0.05e-6
+        report = check_mesh_validity(small_grid, coords)
+        assert report.valid
+        assert report.min_spacing == pytest.approx(0.05e-6, rel=1e-6)
+
+    def test_shape_checked(self, small_grid):
+        with pytest.raises(MeshError):
+            check_mesh_validity(small_grid, np.zeros((4, 3)))
+
+
+class TestUniformAxis:
+    def test_basic(self):
+        axis = uniform_axis(0.0, 1.0e-5, 10)
+        assert axis.size == 11
+        np.testing.assert_allclose(np.diff(axis), 1.0e-6)
+
+    def test_validation(self):
+        with pytest.raises(MeshError):
+            uniform_axis(1.0, 0.0, 10)
+        with pytest.raises(MeshError):
+            uniform_axis(0.0, 1.0, 0)
+
+
+class TestBreakpointAxis:
+    def test_hits_every_breakpoint(self):
+        bps = [0.0, 1.0e-6, 3.5e-6, 1.0e-5]
+        axis = axis_from_breakpoints(bps, max_step=1.0e-6)
+        for bp in bps:
+            assert np.any(np.isclose(axis, bp, atol=1e-15))
+
+    def test_max_step_respected(self):
+        axis = axis_from_breakpoints([0.0, 1.0e-5], max_step=1.3e-6)
+        assert np.all(np.diff(axis) <= 1.3e-6 * (1 + 1e-9))
+
+    def test_duplicates_merged(self):
+        axis = axis_from_breakpoints([0.0, 1e-6, 1e-6, 2e-6],
+                                     max_step=1e-6)
+        assert np.all(np.diff(axis) > 0.0)
+
+    def test_validation(self):
+        with pytest.raises(MeshError):
+            axis_from_breakpoints([0.0], max_step=1e-6)
+        with pytest.raises(MeshError):
+            axis_from_breakpoints([0.0, 1.0], max_step=0.0)
+
+
+class TestGradedAxis:
+    def test_endpoints_exact(self):
+        axis = graded_axis(0.0, 1.0e-5, 20, focus=[5.0e-6])
+        assert axis[0] == 0.0
+        assert axis[-1] == 1.0e-5
+        assert axis.size == 21
+        assert np.all(np.diff(axis) > 0.0)
+
+    def test_refines_near_focus(self):
+        axis = graded_axis(0.0, 1.0e-5, 30, focus=[5.0e-6],
+                           strength=5.0, width=1.0e-6)
+        spacing = np.diff(axis)
+        centers = 0.5 * (axis[:-1] + axis[1:])
+        near = spacing[np.abs(centers - 5.0e-6) < 1.5e-6].mean()
+        far = spacing[np.abs(centers - 5.0e-6) > 3.0e-6].mean()
+        assert near < 0.6 * far
+
+    def test_zero_strength_is_uniform(self):
+        axis = graded_axis(0.0, 1.0e-5, 10, focus=[5.0e-6], strength=0.0)
+        np.testing.assert_allclose(np.diff(axis), 1.0e-6, rtol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(MeshError):
+            graded_axis(0.0, 1.0, 10, focus=[2.0])  # focus outside
+        with pytest.raises(MeshError):
+            graded_axis(0.0, 1.0, 10, focus=[0.5], strength=-1.0)
+        with pytest.raises(MeshError):
+            graded_axis(0.0, 1.0, 10, focus=[0.5], width=0.0)
+
+
+@given(num_cells=st.integers(2, 40),
+       focus_frac=st.floats(0.1, 0.9),
+       strength=st.floats(0.0, 10.0))
+@settings(max_examples=30, deadline=None)
+def test_graded_axis_always_monotone(num_cells, focus_frac, strength):
+    axis = graded_axis(0.0, 1.0e-5, num_cells,
+                       focus=[focus_frac * 1.0e-5], strength=strength)
+    assert axis.size == num_cells + 1
+    assert np.all(np.diff(axis) > 0.0)

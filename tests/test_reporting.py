@@ -1,0 +1,116 @@
+"""Tests for table/series rendering and the comparison table."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.results import ComparisonTable
+from repro.analysis.speedup import SpeedupReport
+from repro.errors import StochasticError
+from repro.reporting import Series, format_kv_block, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["a", "b"], [[1.0, "x"], [2.5, "y"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.5" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "value"],
+                            [["long-name-here", 1.0], ["x", 123456.0]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equally padded
+
+    def test_kv_block(self):
+        text = format_kv_block([("alpha", 1), ("b", "two")], title="H")
+        assert text.splitlines()[0] == "H"
+        assert "alpha : 1" in text
+
+
+class TestSeries:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", np.arange(3), np.arange(4))
+
+    def test_csv_export(self):
+        s = Series("y", np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+        csv = s.to_csv()
+        assert csv.splitlines()[0] == "x,y"
+        assert "1,3" in csv
+
+    def test_format_series_shared_axis(self):
+        x = np.array([0.0, 1.0])
+        text = format_series([Series("a", x, x), Series("b", x, 2 * x)],
+                             x_label="t", title="S")
+        assert "t" in text and "a" in text and "b" in text
+
+    def test_format_series_axis_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([Series("a", np.arange(2.0), np.arange(2.0)),
+                           Series("b", np.arange(3.0), np.arange(3.0))])
+
+
+class TestComparisonTable:
+    def _table(self):
+        return ComparisonTable(
+            names=["q1", "q2"],
+            mc_mean=np.array([1.0, -2.0]),
+            mc_std=np.array([0.1, 0.2]),
+            sscm_mean=np.array([1.01, -1.98]),
+            sscm_std=np.array([0.11, 0.19]),
+            mc_runs=10000,
+            sscm_runs=1000,
+            mc_time=100.0,
+            sscm_time=10.0,
+        )
+
+    def test_errors(self):
+        table = self._table()
+        np.testing.assert_allclose(table.mean_errors(), [0.01, 0.01])
+        np.testing.assert_allclose(table.std_errors(), [0.1, 0.05])
+
+    def test_speedup(self):
+        assert self._table().speedup == pytest.approx(10.0)
+
+    def test_render_contains_rows(self):
+        text = self._table().render("My Table")
+        assert "My Table" in text
+        assert "q1" in text and "q2" in text
+        assert "10.0x" in text
+
+    def test_from_results_requires_names(self):
+        class Dummy:
+            mean = np.zeros(1)
+            std = np.ones(1)
+            num_runs = 3
+            wall_time = 0.0
+            output_names = None
+
+        class DummyAnalysis:
+            mean = np.zeros(1)
+            std = np.ones(1)
+            num_runs = 5
+
+            class sscm:
+                output_names = None
+                wall_time = 0.0
+
+        with pytest.raises(StochasticError):
+            ComparisonTable.from_results(Dummy(), DummyAnalysis())
+
+
+class TestSpeedupReport:
+    def test_ratios(self):
+        report = SpeedupReport(mc_runs=10000, sscm_runs=1035,
+                               mc_time=1000.0, sscm_time=100.0, dim=22)
+        assert report.run_ratio == pytest.approx(10000 / 1035)
+        assert report.time_ratio == pytest.approx(10.0)
+        assert "d=22" in report.render()
+
+    def test_zero_time_guard(self):
+        report = SpeedupReport(1, 1, 1.0, 0.0, 2)
+        assert np.isnan(report.time_ratio)

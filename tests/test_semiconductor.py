@@ -1,0 +1,157 @@
+"""Tests for the Bernoulli function and Scharfetter-Gummel fluxes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import NI_SILICON, VT_ROOM
+from repro.materials import equilibrium_carriers
+from repro.semiconductor import (
+    bernoulli,
+    bernoulli_derivative,
+    electron_flux,
+    electron_flux_linearization,
+    hole_flux,
+    hole_flux_linearization,
+)
+
+
+class TestBernoulli:
+    def test_value_at_zero(self):
+        assert float(bernoulli(0.0)) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert float(bernoulli(1.0)) == pytest.approx(
+            1.0 / (np.e - 1.0), rel=1e-12)
+
+    def test_large_negative_asymptote(self):
+        assert float(bernoulli(-50.0)) == pytest.approx(50.0, rel=1e-10)
+
+    def test_large_positive_decays(self):
+        assert float(bernoulli(50.0)) < 1e-18
+
+    def test_series_matches_closed_form_at_cutover(self):
+        # Both branches agree with the expm1 closed form (which is
+        # itself accurate in this range) on either side of the switch.
+        for x in (0.5e-4, 0.99e-4, 1.01e-4, 5e-4):
+            assert float(bernoulli(x)) == pytest.approx(
+                x / np.expm1(x), rel=1e-12)
+            assert float(bernoulli(-x)) == pytest.approx(
+                -x / np.expm1(-x), rel=1e-12)
+
+    def test_no_overflow_at_extremes(self):
+        values = bernoulli(np.array([-1e6, -700.0, 700.0, 1e6]))
+        assert np.all(np.isfinite(values))
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_reflection_identity(self, x):
+        """B(-x) = B(x) + x for all x."""
+        assert float(bernoulli(-x)) == pytest.approx(
+            float(bernoulli(x)) + x, rel=1e-9, abs=1e-12)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_positivity(self, x):
+        assert float(bernoulli(x)) >= 0.0
+
+    def test_derivative_at_zero(self):
+        assert float(bernoulli_derivative(0.0)) == pytest.approx(-0.5)
+
+    @given(st.floats(min_value=-30.0, max_value=30.0))
+    @settings(max_examples=80, deadline=None)
+    def test_derivative_matches_finite_difference(self, x):
+        h = 1e-6 * max(1.0, abs(x))
+        fd = (float(bernoulli(x + h)) - float(bernoulli(x - h))) / (2 * h)
+        assert float(bernoulli_derivative(x)) == pytest.approx(
+            fd, rel=1e-4, abs=1e-9)
+
+    def test_derivative_finite_at_extremes(self):
+        values = bernoulli_derivative(np.array([-1e6, 700.0, 1e6]))
+        assert np.all(np.isfinite(values))
+
+
+class TestScharfetterGummel:
+    MU = 0.14
+    L = 1.0e-6
+
+    def test_pure_diffusion(self):
+        """At zero field the flux reduces to Fick's law."""
+        f = electron_flux(2.0e21, 1.0e21, 0.0, self.MU, VT_ROOM, self.L)
+        diff = self.MU * VT_ROOM / self.L * (2.0e21 - 1.0e21)
+        assert float(f) == pytest.approx(diff, rel=1e-9)
+        fp = hole_flux(2.0e21, 1.0e21, 0.0, self.MU, VT_ROOM, self.L)
+        assert float(fp) == pytest.approx(diff, rel=1e-9)
+
+    @given(st.floats(min_value=-0.5, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_equilibrium_flux_vanishes(self, v_b):
+        """The defining SG property: Boltzmann equilibrium => zero flux."""
+        v_a = 0.05
+        n_a, p_a = equilibrium_carriers(v_a, NI_SILICON, VT_ROOM)
+        n_b, p_b = equilibrium_carriers(v_b, NI_SILICON, VT_ROOM)
+        u = (v_b - v_a) / VT_ROOM
+        f_n = electron_flux(n_a, n_b, u, self.MU, VT_ROOM, self.L)
+        f_p = hole_flux(p_a, p_b, u, self.MU, VT_ROOM, self.L)
+        scale = self.MU * VT_ROOM / self.L * max(float(n_a), float(n_b))
+        assert abs(float(f_n)) < 1e-8 * scale
+        scale_p = self.MU * VT_ROOM / self.L * max(float(p_a), float(p_b))
+        assert abs(float(f_p)) < 1e-8 * scale_p
+
+    def test_drift_dominated_upwinding(self):
+        """Strong field: flux follows the *upwind* carrier density.
+
+        With V_b << V_a electrons drift toward the higher potential a,
+        so the a->b flux is negative and proportional to the upwind
+        (b-side) density.
+        """
+        u = -20.0  # (V_b - V_a)/VT
+        f = electron_flux(1.0e21, 1.0e15, u, self.MU, VT_ROOM, self.L)
+        expected = -self.MU * VT_ROOM / self.L * 1.0e15 * 20.0
+        # The downwind term contributes n_a B(20) ~ 0.2% here.
+        assert float(f) == pytest.approx(expected, rel=5e-3)
+        # And the reverse field direction pulls from the a side.
+        f2 = electron_flux(1.0e21, 1.0e15, 20.0, self.MU, VT_ROOM,
+                           self.L)
+        expected2 = self.MU * VT_ROOM / self.L * 1.0e21 * 20.0
+        assert float(f2) == pytest.approx(expected2, rel=5e-3)
+
+    def test_linearization_matches_finite_difference(self):
+        n_a, n_b = 2.0e21, 1.5e21
+        u0 = 0.8
+        lin = electron_flux_linearization(n_a, n_b, u0, self.MU, VT_ROOM,
+                                          self.L)
+        base = float(electron_flux(n_a, n_b, u0, self.MU, VT_ROOM, self.L))
+        h = 1e12
+        fd_a = (float(electron_flux(n_a + h, n_b, u0, self.MU, VT_ROOM,
+                                    self.L)) - base) / h
+        assert float(lin.coef_a) == pytest.approx(fd_a, rel=1e-6)
+        fd_b = (float(electron_flux(n_a, n_b + h, u0, self.MU, VT_ROOM,
+                                    self.L)) - base) / h
+        assert float(lin.coef_b) == pytest.approx(fd_b, rel=1e-6)
+        hv = 1e-7
+        fd_v = (float(electron_flux(n_a, n_b, u0 + hv / VT_ROOM, self.MU,
+                                    VT_ROOM, self.L)) - base) / hv
+        assert float(lin.coef_dv) == pytest.approx(fd_v, rel=1e-4)
+
+    def test_hole_linearization_matches_finite_difference(self):
+        p_a, p_b = 3.0e20, 4.0e20
+        u0 = -0.5
+        lin = hole_flux_linearization(p_a, p_b, u0, self.MU, VT_ROOM,
+                                      self.L)
+        base = float(hole_flux(p_a, p_b, u0, self.MU, VT_ROOM, self.L))
+        h = 1e12
+        fd_a = (float(hole_flux(p_a + h, p_b, u0, self.MU, VT_ROOM,
+                                self.L)) - base) / h
+        assert float(lin.coef_a) == pytest.approx(fd_a, rel=1e-6)
+        hv = 1e-7
+        fd_v = (float(hole_flux(p_a, p_b, u0 + hv / VT_ROOM, self.MU,
+                                VT_ROOM, self.L)) - base) / hv
+        assert float(lin.coef_dv) == pytest.approx(fd_v, rel=1e-4)
+
+    def test_flux_antisymmetry(self):
+        """Swapping endpoints and the voltage sign flips the flux."""
+        f_ab = electron_flux(2e21, 1e21, 0.7, self.MU, VT_ROOM, self.L)
+        f_ba = electron_flux(1e21, 2e21, -0.7, self.MU, VT_ROOM, self.L)
+        assert float(f_ab) == pytest.approx(-float(f_ba), rel=1e-12)

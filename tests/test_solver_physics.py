@@ -1,0 +1,283 @@
+"""Physics validation of the coupled solver on analytically known cases.
+
+These are the tests that anchor the whole reproduction: resistance and
+capacitance of textbook geometries, Kirchhoff consistency, equilibrium
+properties of the DC solve, and reciprocity of the capacitance matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import EPS0, Q
+from repro.errors import GeometryError
+from repro.extraction import port_current
+from repro.extraction.capacitance import (
+    capacitance_column,
+    conductor_labels,
+    conductor_mask_for_contact,
+)
+from repro.geometry import Box, Structure
+from repro.materials import doped_silicon, silicon_dioxide, tungsten, vacuum
+from repro.materials.physics import equilibrium_potential
+from repro.mesh import CartesianGrid
+from repro.mesh.refine import uniform_axis
+from repro.solver import AVSolver
+from repro.solver.dc import solve_equilibrium
+from repro.units import um
+
+
+def _metal_bar(sigma=1.0e7, n=5):
+    """A metal bar between two end contacts inside vacuum padding."""
+    grid = CartesianGrid(uniform_axis(0, um(4.0), 4),
+                         uniform_axis(0, um(4.0), 4),
+                         uniform_axis(0, um(8.0), n))
+    s = Structure(grid, background=vacuum())
+    bar = Box((um(1.0), um(1.0), 0.0), (um(3.0), um(3.0), um(8.0)))
+    from repro.materials.material import Metal
+
+    s.add_box(Metal(name="bar", eps_r=1.0, sigma=sigma), bar)
+    s.add_contact_on_box_face("bottom", bar, "z-")
+    s.add_contact_on_box_face("top", bar, "z+")
+    return s, bar
+
+
+class TestResistor:
+    def test_bar_resistance_matches_ohms_law(self):
+        """R = L / (sigma A) for a uniform bar, within FVM accuracy."""
+        sigma = 1.0e5
+        s, bar = _metal_bar(sigma=sigma, n=8)
+        solver = AVSolver(s, frequency=1.0e3)  # quasi-DC
+        sol = solver.solve({"top": 1.0, "bottom": 0.0})
+        current = port_current(sol, "top")
+        area = bar.size[0] * bar.size[1]
+        r_expected = bar.size[2] / (sigma * area)
+        r_measured = 1.0 / current.real
+        assert r_measured == pytest.approx(r_expected, rel=0.05)
+
+    def test_resistance_scales_with_conductivity(self):
+        results = []
+        for sigma in (1.0e4, 1.0e5):
+            s, _ = _metal_bar(sigma=sigma)
+            solver = AVSolver(s, frequency=1.0e3)
+            sol = solver.solve({"top": 1.0, "bottom": 0.0})
+            results.append(port_current(sol, "top").real)
+        assert results[1] == pytest.approx(10.0 * results[0], rel=1e-3)
+
+    def test_kirchhoff_current_balance(self):
+        s, _ = _metal_bar()
+        solver = AVSolver(s, frequency=1.0e6)
+        sol = solver.solve({"top": 1.0, "bottom": 0.0})
+        i_top = port_current(sol, "top")
+        i_bottom = port_current(sol, "bottom")
+        assert i_top + i_bottom == pytest.approx(0.0, abs=1e-9 * abs(i_top))
+
+
+def _parallel_plates(gap_cells=4):
+    """Two metal plates separated by oxide (fringe-free-ish)."""
+    grid = CartesianGrid(uniform_axis(0, um(10.0), 5),
+                         uniform_axis(0, um(10.0), 5),
+                         uniform_axis(0, um(3.0), gap_cells + 2))
+    s = Structure(grid, background=silicon_dioxide())
+    dz = um(3.0) / (gap_cells + 2)
+    bottom = Box((0.0, 0.0, 0.0), (um(10.0), um(10.0), dz))
+    top = Box((0.0, 0.0, um(3.0) - dz), (um(10.0), um(10.0), um(3.0)))
+    s.add_box(tungsten("m1"), bottom)
+    s.add_box(tungsten("m2"), top)
+    s.add_contact_on_box_face("bot", bottom, "z-")
+    s.add_contact_on_box_face("top", top, "z+")
+    gap = um(3.0) - 2 * dz
+    return s, gap
+
+
+class TestCapacitor:
+    def test_parallel_plate_capacitance(self):
+        s, gap = _parallel_plates()
+        solver = AVSolver(s, frequency=1.0e9)
+        sol = solver.solve({"top": 1.0, "bot": 0.0})
+        col = capacitance_column(sol, "top")
+        area = um(10.0) * um(10.0)
+        c_expected = 3.9 * EPS0 * area / gap
+        # Full-plane plates on a matching grid: no fringe error.
+        assert col["bot"].real == pytest.approx(-c_expected, rel=1e-6)
+        assert col["top"].real == pytest.approx(c_expected, rel=1e-6)
+
+    def test_charge_neutrality_of_column(self):
+        s, _ = _parallel_plates()
+        solver = AVSolver(s, frequency=1.0e9)
+        sol = solver.solve({"top": 1.0, "bot": 0.0})
+        col = capacitance_column(sol, "top")
+        total = col["top"] + col["bot"]
+        assert abs(total) < 1e-3 * abs(col["top"])
+
+    def test_reciprocity(self, coarse_tsv_structure):
+        """C_ij = C_ji for the TSV structure (Maxwell matrix symmetry)."""
+        solver = AVSolver(coarse_tsv_structure, frequency=1.0e9)
+        grounded = {name: 0.0 for name in coarse_tsv_structure.contacts}
+        ex1 = dict(grounded, tsv1=1.0)
+        ex2 = dict(grounded, tsv2=1.0)
+        col1 = capacitance_column(solver.solve(ex1), "tsv1")
+        col2 = capacitance_column(solver.solve(ex2), "tsv2")
+        assert col1["tsv2"].real == pytest.approx(col2["tsv1"].real,
+                                                  rel=1e-3)
+
+    def test_port_current_equals_jwq(self, coarse_tsv_structure):
+        """I_port ~ j w Q for a capacitive structure (displacement
+        dominated through the driven TSV's oxide)."""
+        solver = AVSolver(coarse_tsv_structure, frequency=1.0e9)
+        grounded = {name: 0.0 for name in coarse_tsv_structure.contacts}
+        sol = solver.solve(dict(grounded, tsv1=1.0))
+        q = capacitance_column(sol, "tsv1")["tsv1"]
+        i_port = port_current(sol, "tsv1")
+        omega = 2 * np.pi * 1.0e9
+        # Current into the conductor = j w Q (plus small substrate loss
+        # and the neighbouring conductors' share).
+        assert i_port.imag == pytest.approx(omega * q.real, rel=0.35)
+
+
+class TestConductorLabels:
+    def test_tsv_structure_has_six_conductors(self, coarse_tsv_structure):
+        from repro.mesh import LinkSet
+
+        links = LinkSet(coarse_tsv_structure.grid)
+        labels = conductor_labels(coarse_tsv_structure, links)
+        present = np.unique(labels[labels >= 0])
+        assert present.size == 6
+
+    def test_conductor_labels_agree_with_networkx(self,
+                                                  coarse_tsv_structure):
+        """Cross-validate the csgraph component labelling."""
+        import networkx as nx
+
+        from repro.mesh import LinkSet
+
+        links = LinkSet(coarse_tsv_structure.grid)
+        labels = conductor_labels(coarse_tsv_structure, links)
+        metal = coarse_tsv_structure.node_kinds().metal
+        graph = nx.Graph()
+        graph.add_nodes_from(np.nonzero(metal)[0].tolist())
+        both = metal[links.node_a] & metal[links.node_b]
+        graph.add_edges_from(zip(links.node_a[both].tolist(),
+                                 links.node_b[both].tolist()))
+        components = list(nx.connected_components(graph))
+        assert len(components) == 6
+        for comp in components:
+            comp_labels = set(labels[list(comp)].tolist())
+            assert len(comp_labels) == 1
+
+    def test_contact_spanning_conductors_rejected(self,
+                                                  coarse_tsv_structure):
+        from repro.mesh import LinkSet
+
+        s = coarse_tsv_structure
+        links = LinkSet(s.grid)
+        # Forge a contact set spanning tsv1 and tsv2.
+        ids = np.concatenate([s.contact_node_ids("tsv1"),
+                              s.contact_node_ids("tsv2")])
+        from repro.errors import ExtractionError
+
+        s.contacts["forged"] = ids
+        try:
+            with pytest.raises(ExtractionError):
+                conductor_mask_for_contact(s, links, "forged")
+        finally:
+            del s.contacts["forged"]
+
+
+class TestEquilibrium:
+    def test_uniform_doping_flat_potential(self, coarse_plug_structure):
+        solver = AVSolver(coarse_plug_structure, frequency=1e9)
+        eq = solve_equilibrium(coarse_plug_structure,
+                               solver.nominal_geometry)
+        mask = eq.carrier_mask
+        material = coarse_plug_structure.primary_semiconductor()
+        expected = equilibrium_potential(material.net_doping,
+                                         eq.ni, eq.vt)
+        interior = mask & (eq.semi_node_volumes
+                           > 0.9 * eq.semi_node_volumes[mask].max())
+        np.testing.assert_allclose(eq.potential[interior], expected,
+                                   rtol=1e-3)
+
+    def test_mass_action_law(self, coarse_plug_structure):
+        solver = AVSolver(coarse_plug_structure, frequency=1e9)
+        eq = solve_equilibrium(coarse_plug_structure,
+                               solver.nominal_geometry)
+        mask = eq.carrier_mask
+        np.testing.assert_allclose(eq.n0[mask] * eq.p0[mask],
+                                   eq.ni ** 2, rtol=1e-9)
+
+    def test_charge_neutral_bulk(self, coarse_plug_structure):
+        """Bulk nodes are charge neutral; interface nodes band-bend.
+
+        The Si/SiO2 interface carries a genuine depletion response, so
+        neutrality is asserted only for interior nodes (full dual
+        volume inside the semiconductor).
+        """
+        solver = AVSolver(coarse_plug_structure, frequency=1e9)
+        eq = solve_equilibrium(coarse_plug_structure,
+                               solver.nominal_geometry)
+        mask = eq.carrier_mask
+        interior = mask & (eq.semi_node_volumes
+                           > 0.9 * eq.semi_node_volumes[mask].max())
+        net = eq.n0[interior] - eq.p0[interior]
+        np.testing.assert_allclose(net, eq.net_doping[interior],
+                                   rtol=1e-3)
+
+    def test_no_semiconductor_trivial_state(self):
+        s, _ = _parallel_plates()
+        solver = AVSolver(s, frequency=1e9)
+        eq = solve_equilibrium(s, solver.nominal_geometry)
+        assert not eq.has_semiconductor
+        np.testing.assert_allclose(eq.potential, 0.0)
+
+    def test_doping_override_shifts_potential(self, coarse_plug_structure):
+        from repro.materials import UniformDoping
+
+        solver = AVSolver(coarse_plug_structure, frequency=1e9)
+        eq_lo = solve_equilibrium(coarse_plug_structure,
+                                  solver.nominal_geometry,
+                                  doping_profile=UniformDoping(1e20))
+        eq_hi = solve_equilibrium(coarse_plug_structure,
+                                  solver.nominal_geometry,
+                                  doping_profile=UniformDoping(1e22))
+        mask = eq_lo.carrier_mask
+        assert eq_hi.potential[mask].mean() > eq_lo.potential[mask].mean()
+
+
+class TestACSolverBasics:
+    def test_excitation_required(self, coarse_plug_structure):
+        solver = AVSolver(coarse_plug_structure, frequency=1e9)
+        with pytest.raises(GeometryError):
+            solver.solve({})
+
+    def test_dirichlet_values_pinned(self, coarse_plug_structure):
+        solver = AVSolver(coarse_plug_structure, frequency=1e9)
+        sol = solver.solve({"plug1": 0.7 + 0.1j, "plug2": 0.0})
+        ids = coarse_plug_structure.contact_node_ids("plug1")
+        np.testing.assert_allclose(sol.potential[ids], 0.7 + 0.1j)
+
+    def test_metal_body_nearly_equipotential(self, coarse_plug_structure):
+        solver = AVSolver(coarse_plug_structure, frequency=1e9)
+        sol = solver.solve({"plug1": 1.0, "plug2": 0.0})
+        mask = conductor_mask_for_contact(
+            coarse_plug_structure, sol.geometry.links, "plug1")
+        # Tungsten has finite conductivity, so an IR drop of a few uV
+        # across the plug is physical; "equipotential" means << 1 mV.
+        spread = np.abs(sol.potential[mask] - 1.0).max()
+        assert spread < 1e-4
+
+    def test_solution_linear_in_drive(self, coarse_plug_structure):
+        solver = AVSolver(coarse_plug_structure, frequency=1e9)
+        s1 = solver.solve({"plug1": 1.0, "plug2": 0.0})
+        s2 = solver.solve({"plug1": 2.0, "plug2": 0.0})
+        i1 = port_current(s1, "plug1")
+        i2 = port_current(s2, "plug1")
+        assert i2 == pytest.approx(2.0 * i1, rel=1e-9)
+
+    def test_frequency_validation(self, coarse_plug_structure):
+        with pytest.raises(GeometryError):
+            AVSolver(coarse_plug_structure, frequency=0.0)
+
+    def test_invalid_geometry_argument(self, coarse_plug_structure):
+        solver = AVSolver(coarse_plug_structure, frequency=1e9)
+        with pytest.raises(GeometryError):
+            solver.solve({"plug1": 1.0}, geometry="nope")

@@ -1,0 +1,168 @@
+"""Tests for Hermite basis, Gauss-Hermite rules and sparse grids."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StochasticError
+from repro.stochastic import (
+    HermiteBasis,
+    gauss_hermite_rule,
+    hermite_norm_squared,
+    hermite_value,
+    multi_indices_upto,
+    paper_point_count,
+    smolyak_sparse_grid,
+    tensor_grid,
+)
+from repro.stochastic.sparse_grid import smolyak_point_count
+
+
+class TestHermite:
+    def test_first_polynomials(self):
+        x = np.linspace(-3, 3, 7)
+        np.testing.assert_allclose(hermite_value(0, x), 1.0)
+        np.testing.assert_allclose(hermite_value(1, x), x)
+        np.testing.assert_allclose(hermite_value(2, x), x * x - 1.0)
+        np.testing.assert_allclose(hermite_value(3, x), x ** 3 - 3 * x)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(StochasticError):
+            hermite_value(-1, 0.0)
+
+    def test_norms(self):
+        assert hermite_norm_squared((0, 0)) == 1.0
+        assert hermite_norm_squared((1, 0)) == 1.0
+        assert hermite_norm_squared((2, 0)) == 2.0
+        assert hermite_norm_squared((2, 3)) == 2.0 * 6.0
+
+    def test_multi_index_count_quadratic(self):
+        for d in (1, 2, 5, 10):
+            indices = multi_indices_upto(d, 2)
+            assert len(indices) == (d + 1) * (d + 2) // 2
+
+    def test_multi_index_graded_order(self):
+        indices = multi_indices_upto(3, 2)
+        totals = [sum(ix) for ix in indices]
+        assert totals == sorted(totals)
+        assert indices[0] == (0, 0, 0)
+
+    def test_basis_orthogonality_by_quadrature(self):
+        """<He_a He_b> = delta_ab <He_a^2> under the Gaussian weight."""
+        basis = HermiteBasis(2, order=2)
+        nodes, weights = gauss_hermite_rule(6)
+        X, Y = np.meshgrid(nodes, nodes, indexing="ij")
+        W = np.outer(weights, weights).ravel()
+        pts = np.stack([X.ravel(), Y.ravel()], axis=1)
+        design = basis.evaluate(pts)
+        gram = design.T @ (W[:, None] * design)
+        expected = np.diag(basis.norms_squared)
+        np.testing.assert_allclose(gram, expected, atol=1e-10)
+
+    def test_evaluate_shape_checked(self):
+        basis = HermiteBasis(3)
+        with pytest.raises(StochasticError):
+            basis.evaluate(np.zeros((4, 2)))
+
+
+class TestGaussHermite:
+    def test_weights_normalized(self):
+        for m in (1, 2, 3, 5, 8):
+            _, w = gauss_hermite_rule(m)
+            assert w.sum() == pytest.approx(1.0)
+
+    def test_moments_exact(self):
+        nodes, weights = gauss_hermite_rule(5)
+        # Standard normal moments: 1, 0, 1, 0, 3, 0, 15, 0, 105.
+        moments = [1.0, 0.0, 1.0, 0.0, 3.0, 0.0, 15.0, 0.0, 105.0]
+        for k, expected in enumerate(moments):
+            value = float((weights * nodes ** k).sum())
+            assert value == pytest.approx(expected, abs=1e-9)
+
+    def test_one_point_rule(self):
+        nodes, weights = gauss_hermite_rule(1)
+        assert nodes[0] == 0.0
+        assert weights[0] == 1.0
+
+    def test_odd_rule_centre_exact_zero(self):
+        nodes, _ = gauss_hermite_rule(5)
+        assert nodes[2] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(StochasticError):
+            gauss_hermite_rule(0)
+
+
+class TestSparseGrid:
+    def test_point_counts(self):
+        for d in (1, 2, 3, 8, 22):
+            grid = smolyak_sparse_grid(d)
+            assert grid.num_points == smolyak_point_count(d)
+
+    def test_paper_count_formula(self):
+        """The counts quoted in Section IV: d=22 -> 1035, d=34 -> 2415."""
+        assert paper_point_count(22) == 1035
+        assert paper_point_count(34) == 2415
+
+    def test_smolyak_vs_paper_count_gap_is_linear(self):
+        for d in (5, 10, 30):
+            assert (smolyak_point_count(d) - paper_point_count(d)) == d
+
+    def test_weights_sum_to_one(self):
+        for d in (2, 6, 15):
+            grid = smolyak_sparse_grid(d)
+            assert grid.weights.sum() == pytest.approx(1.0)
+
+    @given(d=st.integers(2, 10), i=st.integers(0, 9), j=st.integers(0, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_moments_exact(self, d, i, j):
+        """Level-2 grids integrate the moments a quadratic chaos needs."""
+        if i >= d or j >= d or i == j:
+            return
+        grid = smolyak_sparse_grid(d)
+        z, w = grid.points, grid.weights
+        assert float((w * z[:, i] ** 2).sum()) == pytest.approx(1.0)
+        assert float((w * z[:, i] ** 4).sum()) == pytest.approx(3.0)
+        assert float((w * z[:, i] ** 2 * z[:, j] ** 2).sum()) \
+            == pytest.approx(1.0)
+        assert float((w * z[:, i] * z[:, j]).sum()) == pytest.approx(
+            0.0, abs=1e-10)
+        assert float((w * z[:, i] ** 3 * z[:, j]).sum()) == pytest.approx(
+            0.0, abs=1e-10)
+
+    def test_contains_origin(self):
+        grid = smolyak_sparse_grid(4)
+        origin = np.all(grid.points == 0.0, axis=1)
+        assert origin.sum() == 1
+
+    def test_growth_is_quadratic_not_exponential(self):
+        n10 = smolyak_sparse_grid(10).num_points
+        n20 = smolyak_sparse_grid(20).num_points
+        assert n20 / n10 < 5.0  # quadratic scaling, not 2^10
+
+    def test_validation(self):
+        with pytest.raises(StochasticError):
+            smolyak_sparse_grid(0)
+        with pytest.raises(StochasticError):
+            paper_point_count(0)
+
+
+class TestTensorGrid:
+    def test_count(self):
+        grid = tensor_grid(3, points_per_axis=3)
+        assert grid.num_points == 27
+        assert grid.weights.sum() == pytest.approx(1.0)
+
+    def test_moments(self):
+        grid = tensor_grid(2, points_per_axis=4)
+        z, w = grid.points, grid.weights
+        assert float((w * z[:, 0] ** 2).sum()) == pytest.approx(1.0)
+        assert float((w * z[:, 0] ** 2 * z[:, 1] ** 2).sum()) \
+            == pytest.approx(1.0)
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(StochasticError):
+            tensor_grid(30, points_per_axis=3)

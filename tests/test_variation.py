@@ -1,0 +1,233 @@
+"""Tests for covariance kernels, random fields, CSV/naive models, RDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeshError, StochasticError
+from repro.materials import UniformDoping
+from repro.mesh import CartesianGrid, check_mesh_validity
+from repro.variation import (
+    ContinuousSurfaceModel,
+    GaussianRandomField,
+    NaiveSurfaceModel,
+    RandomDopingModel,
+    covariance_matrix,
+    exponential_kernel,
+    squared_exponential_kernel,
+    propagate_axis_displacement,
+)
+from repro.variation.random_field import stable_cholesky
+
+
+class TestKernels:
+    def test_exponential_diagonal(self):
+        cov = exponential_kernel(np.zeros((3, 3)), sigma=0.5, eta=1.0)
+        np.testing.assert_allclose(np.diag(cov), 0.25)
+
+    def test_exponential_decay(self):
+        assert exponential_kernel(1.0, 1.0, 1.0) == pytest.approx(
+            np.exp(-1.0))
+
+    def test_squared_exponential_decay(self):
+        assert squared_exponential_kernel(2.0, 1.0, 1.0) == pytest.approx(
+            np.exp(-4.0))
+
+    def test_validation(self):
+        with pytest.raises(StochasticError):
+            exponential_kernel(1.0, sigma=-1.0, eta=1.0)
+        with pytest.raises(StochasticError):
+            exponential_kernel(1.0, sigma=1.0, eta=0.0)
+        with pytest.raises(StochasticError):
+            covariance_matrix(np.zeros((3, 2)), 1.0, 1.0, kernel="bogus")
+
+    def test_covariance_matrix_symmetric_psd(self, rng):
+        coords = rng.uniform(0, 1e-5, size=(20, 3))
+        cov = covariance_matrix(coords, sigma=0.3e-6, eta=0.7e-6)
+        np.testing.assert_allclose(cov, cov.T)
+        eigvals = np.linalg.eigvalsh(cov)
+        assert eigvals.min() > -1e-18
+
+
+class TestRandomField:
+    def test_sample_statistics(self, rng):
+        coords = np.linspace(0, 1e-5, 12)[:, None] * np.ones((1, 3))
+        field = GaussianRandomField(coords, sigma=0.5e-6, eta=0.7e-6)
+        samples = field.sample(rng, num_samples=4000)
+        assert samples.shape == (4000, 12)
+        np.testing.assert_allclose(samples.std(axis=0), 0.5e-6, rtol=0.1)
+        # Correlation decays with distance.
+        corr = np.corrcoef(samples.T)
+        assert corr[0, 1] > corr[0, 11]
+
+    def test_transform_matches_cholesky(self, rng):
+        coords = rng.uniform(0, 1e-5, size=(8, 3))
+        field = GaussianRandomField(coords, sigma=1e-6, eta=1e-6)
+        z = rng.standard_normal(8)
+        np.testing.assert_allclose(field.transform(z),
+                                   field.cholesky @ z)
+
+    def test_stable_cholesky_handles_semidefinite(self):
+        # Rank-deficient: duplicated coordinates.
+        cov = np.ones((4, 4))
+        chol = stable_cholesky(cov)
+        np.testing.assert_allclose(chol @ chol.T, cov, atol=1e-6)
+
+    def test_stable_cholesky_rejects_asymmetric(self):
+        with pytest.raises(StochasticError):
+            stable_cholesky(np.array([[1.0, 0.5], [0.2, 1.0]]))
+
+    def test_validation(self, rng):
+        coords = rng.uniform(0, 1, size=(5, 3))
+        field = GaussianRandomField(coords, 1.0, 1.0)
+        with pytest.raises(StochasticError):
+            field.sample(rng, num_samples=0)
+        with pytest.raises(StochasticError):
+            field.transform(np.zeros(7))
+
+
+class TestCsvPropagation:
+    def _grid(self):
+        return CartesianGrid(np.linspace(0, 10e-6, 11),
+                             np.linspace(0, 4e-6, 5),
+                             np.linspace(0, 4e-6, 5))
+
+    def test_anchor_values_preserved(self):
+        grid = self._grid()
+        anchor = grid.node_id(5, 2, 2)
+        disp = propagate_axis_displacement(grid, 0, [anchor], [0.9e-6])
+        assert disp[anchor] == pytest.approx(0.9e-6)
+
+    def test_linear_decay_to_boundary(self):
+        """Eq. (7): outer nodes decay linearly to zero at the boundary."""
+        grid = self._grid()
+        anchor = grid.node_id(5, 2, 2)  # x = 5 um, boundary at 10 um
+        disp = propagate_axis_displacement(grid, 0, [anchor], [1.0e-6])
+        outer = grid.node_id(7, 2, 2)  # x = 7 um
+        expected = 1.0e-6 * (10.0 - 7.0) / (10.0 - 5.0)
+        assert disp[outer] == pytest.approx(expected)
+        assert disp[grid.node_id(0, 2, 2)] == pytest.approx(0.0)
+        assert disp[grid.node_id(10, 2, 2)] == pytest.approx(0.0)
+
+    def test_interpolation_between_two_anchors(self):
+        """Eq. (6): inner nodes interpolate between the interfaces."""
+        grid = self._grid()
+        left = grid.node_id(2, 1, 1)   # x = 2 um
+        right = grid.node_id(8, 1, 1)  # x = 8 um
+        disp = propagate_axis_displacement(
+            grid, 0, [left, right], [0.4e-6, -0.2e-6])
+        mid = grid.node_id(5, 1, 1)    # halfway
+        assert disp[mid] == pytest.approx(0.1e-6)
+
+    def test_unrelated_lines_untouched(self):
+        grid = self._grid()
+        anchor = grid.node_id(5, 2, 2)
+        disp = propagate_axis_displacement(grid, 0, [anchor], [1.0e-6])
+        other_line = grid.node_id(5, 0, 0)
+        assert disp[other_line] == 0.0
+
+    def test_duplicate_anchor_rejected(self):
+        grid = self._grid()
+        nid = grid.node_id(5, 2, 2)
+        with pytest.raises(StochasticError):
+            propagate_axis_displacement(grid, 0, [nid, nid],
+                                        [1e-6, 2e-6])
+
+    def test_bad_axis_rejected(self):
+        grid = self._grid()
+        with pytest.raises(MeshError):
+            propagate_axis_displacement(grid, 3, [0], [1e-6])
+
+    def test_empty_anchor_set(self):
+        grid = self._grid()
+        disp = propagate_axis_displacement(grid, 0, [], [])
+        np.testing.assert_allclose(disp, 0.0)
+
+    @given(value=st.floats(-0.95, 0.95), index=st.integers(1, 9),
+           seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_csv_never_destroys_mesh(self, value, index, seed):
+        """The CSV model's key property (Fig. 1b): any interface
+        perturbation smaller than the distance to the next *interface or
+        boundary* keeps the mesh valid — even when it is much larger
+        than the local mesh step."""
+        grid = self._grid()
+        rng = np.random.default_rng(seed)
+        plane_nodes = [grid.node_id(index, j, k)
+                       for j in range(grid.ny) for k in range(grid.nz)]
+        max_room = min(grid.xs[index] - grid.xs[0],
+                       grid.xs[-1] - grid.xs[index])
+        values = value * max_room * rng.uniform(0.5, 1.0,
+                                                len(plane_nodes))
+        model = ContinuousSurfaceModel(grid)
+        pg = model.perturbed_grid({0: (np.array(plane_nodes), values)})
+        assert pg.validity().valid
+
+    def test_naive_model_destroys_large_perturbation(self):
+        """The Fig. 1(a) failure: the traditional model inverts the mesh
+        once the perturbation exceeds the local step."""
+        grid = self._grid()  # 1 um step in x
+        nid = grid.node_id(5, 2, 2)
+        naive = NaiveSurfaceModel(grid)
+        pg = naive.perturbed_grid({0: (np.array([nid]),
+                                       np.array([1.5e-6]))})
+        assert not pg.validity().valid
+        # The CSV model survives the identical perturbation.
+        csv = ContinuousSurfaceModel(grid)
+        pg2 = csv.perturbed_grid({0: (np.array([nid]),
+                                      np.array([1.5e-6]))})
+        assert pg2.validity().valid
+
+    def test_models_agree_for_tiny_perturbations_at_anchor(self):
+        grid = self._grid()
+        nid = grid.node_id(5, 2, 2)
+        anchors = {0: (np.array([nid]), np.array([1e-9]))}
+        csv = ContinuousSurfaceModel(grid).displacement_field(anchors)
+        naive = NaiveSurfaceModel(grid).displacement_field(anchors)
+        assert csv[nid, 0] == pytest.approx(naive[nid, 0])
+
+
+class TestRandomDopingModel:
+    def _group(self):
+        from repro.variation.groups import PerturbationGroup
+
+        coords = np.linspace(0, 1e-6, 5)[:, None] * np.ones((1, 3))
+        cov = covariance_matrix(coords, 0.1, 0.5e-6)
+        return PerturbationGroup(name="doping", kind="doping",
+                                 node_ids=np.arange(5), coords=coords,
+                                 covariance=cov)
+
+    def test_profile_multipliers(self):
+        model = RandomDopingModel(UniformDoping(1e21), self._group(),
+                                  num_nodes=10)
+        xi = np.array([0.1, -0.05, 0.0, 0.2, -0.1])
+        profile = model.profile_for(xi)
+        coords = np.zeros((10, 3))
+        values = profile.net_doping(coords)
+        assert values[0] == pytest.approx(1.1e21)
+        assert values[1] == pytest.approx(0.95e21)
+        assert values[5] == pytest.approx(1.0e21)
+
+    def test_floor_clipping(self):
+        model = RandomDopingModel(UniformDoping(1e21), self._group(),
+                                  num_nodes=10, floor=0.05)
+        xi = np.full(5, -5.0)  # would give negative doping
+        values = model.profile_for(xi).net_doping(np.zeros((10, 3)))
+        assert values[0] == pytest.approx(0.05e21)
+
+    def test_wrong_group_kind_rejected(self):
+        from repro.variation.groups import PerturbationGroup
+
+        coords = np.zeros((2, 3))
+        geo = PerturbationGroup(name="g", kind="geometry",
+                                node_ids=np.arange(2), coords=coords,
+                                covariance=np.eye(2), axis=0)
+        with pytest.raises(StochasticError):
+            RandomDopingModel(UniformDoping(1e21), geo, num_nodes=5)
+
+    def test_xi_shape_checked(self):
+        model = RandomDopingModel(UniformDoping(1e21), self._group(),
+                                  num_nodes=10)
+        with pytest.raises(StochasticError):
+            model.profile_for(np.zeros(3))
