@@ -1,0 +1,120 @@
+"""FACTOR REUSE: batched multi-port sweeps vs the per-port rebuild.
+
+The paper closes by naming runtime — "several hours" per variational
+study — as the main obstacle.  The factorization-reuse layer attacks
+the deterministic-solver side of that cost: a multi-port frequency
+sweep now solves one DC equilibrium for the whole sweep and one LU per
+frequency shared by all ``P`` port drives (multi-RHS), instead of the
+seed's ``P x F`` equilibria and factorizations.
+
+This bench times both paths on the paper's two structures.  The
+rebuild path is a faithful replica of the seed ``frequency_sweep``:
+per frequency a fresh solver (links + FVM geometry), per port a fresh
+equilibrium, assembly and factorization.  Expected shape: speedup
+grows with the port count (the TSV's six ports gain the most; the
+two-plug structure is capped near 2x-2.5x because the per-frequency
+factorization itself is irreducible), and both paths agree to machine
+precision.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.extraction import port_current
+from repro.geometry import (
+    MetalPlugDesign,
+    TsvDesign,
+    build_metalplug_structure,
+    build_tsv_structure,
+)
+from repro.mesh import compute_geometry
+from repro.mesh.entities import LinkSet
+from repro.solver.ac import ACSystem
+from repro.solver.dc import solve_equilibrium
+from repro.solver.sweep import frequency_sweep
+from repro.units import um
+
+from conftest import write_report
+
+FREQUENCIES = tuple(f * 1.0e9 for f in (0.5, 1.0, 2.0, 5.0, 10.0))
+
+
+def _sweep_rebuild(structure, frequencies, ports):
+    """The seed's sweep: rebuild everything per (port, frequency)."""
+    admittance = np.zeros((len(frequencies), len(ports), len(ports)),
+                          dtype=complex)
+    for k, frequency in enumerate(frequencies):
+        links = LinkSet(structure.grid)
+        geometry = compute_geometry(structure.grid, links=links)
+        for j, driven in enumerate(ports):
+            equilibrium = solve_equilibrium(structure, geometry)
+            system = ACSystem(structure, geometry, equilibrium,
+                              frequency)
+            solution = system.solve(
+                {name: (1.0 if name == driven else 0.0)
+                 for name in ports})
+            for i, port in enumerate(ports):
+                admittance[k, i, j] = port_current(solution, port)
+    return admittance
+
+
+def _compare_paths(structure, ports):
+    start = time.perf_counter()
+    y_rebuild = _sweep_rebuild(structure, FREQUENCIES, ports)
+    t_rebuild = time.perf_counter() - start
+    start = time.perf_counter()
+    result = frequency_sweep(structure, FREQUENCIES, ports=ports)
+    t_batched = time.perf_counter() - start
+    mismatch = (np.abs(result.admittance - y_rebuild).max()
+                / np.abs(y_rebuild).max())
+    return {
+        "ports": len(ports),
+        "frequencies": len(FREQUENCIES),
+        "t_rebuild": t_rebuild,
+        "t_batched": t_batched,
+        "speedup": t_rebuild / t_batched,
+        "mismatch": mismatch,
+    }
+
+
+@pytest.mark.benchmark(group="factor-reuse")
+def test_factor_reuse_speedup(benchmark, output_dir):
+    holder = {}
+
+    def run():
+        plug = build_metalplug_structure(
+            MetalPlugDesign(max_step=um(1.25)))
+        holder["metal-plug"] = _compare_paths(plug, ["plug1", "plug2"])
+        tsv = build_tsv_structure(
+            TsvDesign(max_step=um(2.5), margin=um(2.5)))
+        holder["tsv"] = _compare_paths(tsv,
+                                       sorted(tsv.contacts))
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["FACTOR REUSE: batched multi-port sweep vs per-port "
+             "rebuild",
+             f"  frequencies: {len(FREQUENCIES)}"]
+    for name, stats in holder.items():
+        lines.append(
+            f"  {name}: P={stats['ports']} "
+            f"rebuild {stats['t_rebuild']:.2f}s -> "
+            f"batched {stats['t_batched']:.2f}s "
+            f"({stats['speedup']:.1f}x), "
+            f"max rel mismatch {stats['mismatch']:.2e}")
+    write_report(output_dir, "factor_reuse", "\n".join(lines))
+
+    # --- shape assertions -------------------------------------------
+    for stats in holder.values():
+        # Identical physics: both paths factor the same restricted
+        # matrix, so agreement is machine precision, not tolerance.
+        assert stats["mismatch"] < 1e-12
+    # The six-port TSV is the headline: every extra port rides the
+    # same factorization (P >= 2, F >= 5, >= 3x required; ~9x
+    # measured, so the bound holds even on noisy shared runners).
+    # The 2-port plug's ~2x is timing-noise-sensitive and is reported
+    # rather than asserted.
+    assert holder["tsv"]["speedup"] > 3.0

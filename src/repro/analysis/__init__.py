@@ -11,6 +11,9 @@ from repro.analysis.problem import VariationalProblem
 from repro.analysis.qoi import (
     interface_current_magnitude,
     capacitance_column_qoi,
+    capacitance_matrix_names,
+    capacitance_matrix_qoi,
+    per_port_qoi,
 )
 from repro.analysis.weights import nominal_weights
 from repro.analysis.runner import (
@@ -26,6 +29,9 @@ __all__ = [
     "VariationalProblem",
     "interface_current_magnitude",
     "capacitance_column_qoi",
+    "capacitance_matrix_names",
+    "capacitance_matrix_qoi",
+    "per_port_qoi",
     "nominal_weights",
     "AnalysisResult",
     "run_sscm_analysis",

@@ -9,7 +9,16 @@ Workers receive a *picklable problem builder* (e.g.
 ``functools.partial(table1_problem, "both", config)``) rather than the
 problem itself: each worker builds its own solver once, amortizing the
 mesh/structure setup over its whole chunk — the natural layout for the
-paper's per-sample independence.
+paper's per-sample independence.  The per-worker problem also carries
+the solver's per-sample and per-contact-set caches, so within a chunk a
+multi-port problem factorizes each sample once and reuses that factor
+across all of its port drives (see :meth:`AVSolver.solve_ports`).
+
+Per-worker random streams are derived with
+``np.random.SeedSequence(seed).spawn(num_workers)`` rather than
+``seed + k`` offsets: offset seeds collide across runs (worker 1 of
+``seed=0`` would replay worker 0 of ``seed=1``), while spawned child
+sequences are statistically independent for every ``(seed, k)`` pair.
 """
 
 from __future__ import annotations
@@ -72,6 +81,16 @@ def _default_workers() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
+def worker_seed_sequences(seed: int, num_workers: int) -> list:
+    """Independent per-worker seed sequences for a base ``seed``.
+
+    Spawned children of ``SeedSequence(seed)`` never collide across
+    base seeds, unlike the ``seed + k`` scheme this replaced (there,
+    ``seed=0``/worker 1 replayed ``seed=1``/worker 0).
+    """
+    return np.random.SeedSequence(seed).spawn(num_workers)
+
+
 def run_mc_parallel(problem_builder, num_runs: int, seed: int = 0,
                     num_workers: int = None,
                     output_names=None) -> MonteCarloResult:
@@ -86,8 +105,10 @@ def run_mc_parallel(problem_builder, num_runs: int, seed: int = 0,
     num_runs:
         Total sample count, split evenly across workers.
     seed:
-        Base seed; worker ``k`` uses ``seed + k`` so results are
-        reproducible for a fixed worker count.
+        Base seed; worker ``k`` draws from the ``k``-th spawned child
+        of ``np.random.SeedSequence(seed)``, so results are
+        reproducible for a fixed worker count and distinct base seeds
+        never share a stream.
     num_workers:
         Process count (default: up to 8, bounded by the CPU count).
     """
@@ -95,13 +116,14 @@ def run_mc_parallel(problem_builder, num_runs: int, seed: int = 0,
         raise StochasticError(f"num_runs must be >= 2, got {num_runs}")
     if num_workers is None:
         num_workers = _default_workers()
+    worker_seeds = worker_seed_sequences(seed, num_workers)
     chunks = []
     base = num_runs // num_workers
     remainder = num_runs % num_workers
     for k in range(num_workers):
         count = base + (1 if k < remainder else 0)
         if count:
-            chunks.append((seed + k, count))
+            chunks.append((worker_seeds[k], count))
 
     start = time.perf_counter()
     with ProcessPoolExecutor(max_workers=num_workers,

@@ -38,10 +38,15 @@ class VariationalProblem:
     frequency:
         Excitation frequency [Hz].
     excitations:
-        ``{contact: complex voltage}`` port drive.
+        ``{contact: complex voltage}`` port drive.  In multi-port mode
+        (``ports`` set) this may be ``None``; it then defaults to the
+        unit drive on ``ports[0]`` and is only used for the nominal
+        (weighting) solution.
     qoi:
         Callable ``ACSolution -> 1-D float array`` (see
-        :mod:`repro.analysis.qoi`).
+        :mod:`repro.analysis.qoi`).  In multi-port mode the callable
+        instead receives ``{port name: ACSolution}`` with one entry per
+        unit port drive.
     qoi_names:
         Labels of the QoI components.
     geometry_groups:
@@ -55,6 +60,14 @@ class VariationalProblem:
         ``"csv"`` (the paper's new model) or ``"naive"`` (Fig. 1a).
     recombination, full_wave:
         Forwarded to :class:`~repro.solver.avsolver.AVSolver`.
+    ports:
+        Optional ordered contact names enabling *multi-port QoI mode*:
+        each sample is solved for every unit port drive in one batch
+        (one equilibrium + one factorization + one multi-RHS solve via
+        :meth:`AVSolver.solve_ports`) and ``qoi`` sees all ``P``
+        solutions at once.  This is how a full admittance /
+        capacitance matrix per sample costs barely more than a single
+        drive.
     """
 
     structure: Structure
@@ -68,11 +81,24 @@ class VariationalProblem:
     surface_model: str = "csv"
     recombination: bool = True
     full_wave: bool = False
+    ports: list = None
 
     def __post_init__(self) -> None:
         if self.surface_model not in ("csv", "naive"):
             raise StochasticError(
                 f"unknown surface model {self.surface_model!r}")
+        if self.ports is not None:
+            self.ports = list(self.ports)
+            if not self.ports:
+                raise StochasticError(
+                    "ports must name at least one contact")
+            if self.excitations is None:
+                self.excitations = {
+                    name: (1.0 if name == self.ports[0] else 0.0)
+                    for name in self.ports}
+        elif self.excitations is None:
+            raise StochasticError(
+                "excitations are required unless ports are given")
         if not self.geometry_groups and self.doping_group is None:
             raise StochasticError(
                 "problem needs at least one perturbation group")
@@ -141,27 +167,40 @@ class VariationalProblem:
                 anchors[group.axis] = (group.node_ids.copy(), xi.copy())
         return anchors
 
+    def _sample_inputs(self, xi_by_group: dict):
+        """Resolve one perturbation sample to solver arguments."""
+        geometry = None
+        if self.geometry_groups:
+            anchors = self.anchors_for(xi_by_group)
+            geometry = self._surface_model().perturbed_grid(
+                anchors, links=self.solver.links)
+        doping_profile = None
+        if self.doping_group is not None:
+            xi = np.asarray(xi_by_group[self.doping_group.name],
+                            dtype=float)
+            doping_profile = self._get_doping_model().profile_for(xi)
+        return geometry, doping_profile
+
     def solve_sample(self, xi_by_group: dict):
         """Run one deterministic coupled solve for a perturbation sample.
 
         ``xi_by_group`` maps group names to full-size perturbation
         vectors (node displacements [m] for geometry groups, relative
         doping perturbations for the doping group).
+
+        Returns a single :class:`~repro.solver.ac.ACSolution`, or — in
+        multi-port mode — ``{port name: ACSolution}`` from one batched
+        :meth:`AVSolver.solve_ports` call (all drives share the
+        sample's equilibrium and factorization).
         """
-        solver = self.solver
-        geometry = None
-        if self.geometry_groups:
-            anchors = self.anchors_for(xi_by_group)
-            perturbed = self._surface_model().perturbed_grid(
-                anchors, links=solver.links)
-            geometry = perturbed
-        doping_profile = None
-        if self.doping_group is not None:
-            xi = np.asarray(xi_by_group[self.doping_group.name],
-                            dtype=float)
-            doping_profile = self._get_doping_model().profile_for(xi)
-        return solver.solve(self.excitations, geometry=geometry,
-                            doping_profile=doping_profile)
+        geometry, doping_profile = self._sample_inputs(xi_by_group)
+        if self.ports is not None:
+            solutions = self.solver.solve_ports(
+                self.ports, geometry=geometry,
+                doping_profile=doping_profile)
+            return dict(zip(self.ports, solutions))
+        return self.solver.solve(self.excitations, geometry=geometry,
+                                 doping_profile=doping_profile)
 
     def evaluate_sample(self, xi_by_group: dict) -> np.ndarray:
         """QoI vector of one perturbation sample."""

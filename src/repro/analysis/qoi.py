@@ -1,4 +1,17 @@
-"""Quantity-of-interest extractors for the paper's two experiments."""
+"""Quantity-of-interest extractors for the paper's two experiments.
+
+Two families:
+
+* single-solution extractors (``ACSolution -> 1-D array``) used with a
+  :class:`~repro.analysis.problem.VariationalProblem` in its classic
+  one-excitation mode;
+* multi-port extractors (``{port: ACSolution} -> 1-D array``) used in
+  the problem's multi-port mode, where all unit port drives of a sample
+  come out of a single batched factorization
+  (:meth:`AVSolver.solve_ports`) — :func:`per_port_qoi` lifts any
+  single-solution extractor, :func:`capacitance_matrix_qoi` reads the
+  full Maxwell matrix.
+"""
 
 from __future__ import annotations
 
@@ -56,3 +69,54 @@ def capacitance_column_qoi(driven_contact: str, contacts: list):
         return np.array([column[name].real for name in contacts])
 
     return extract
+
+
+def per_port_qoi(single_qoi, ports):
+    """Lift a single-solution QoI to multi-port mode.
+
+    Applies ``single_qoi`` to the solution of every unit port drive and
+    concatenates the results in ``ports`` order — e.g. Table I's
+    interface current under each plug's drive from one factorization.
+
+    Returns
+    -------
+    callable
+        ``{port: ACSolution} -> (P * len(single QoI),) array``.
+    """
+    ports = list(ports)
+
+    def extract(solutions: dict) -> np.ndarray:
+        return np.concatenate([
+            np.atleast_1d(np.asarray(single_qoi(solutions[port]),
+                                     dtype=float))
+            for port in ports])
+
+    return extract
+
+
+def capacitance_matrix_qoi(contacts: list):
+    """QoI: the full Maxwell capacitance matrix from unit port drives.
+
+    For use in multi-port mode with ``ports == contacts``: column ``j``
+    is read from the solution driving contact ``j``, so the whole
+    ``P x P`` matrix costs one factorization.  Values are the real
+    parts [F], flattened row-major (``C[i, j]`` = charge on ``i`` per
+    volt on ``j``); labels come from
+    :func:`capacitance_matrix_names`.
+    """
+    contacts = list(contacts)
+
+    def extract(solutions: dict) -> np.ndarray:
+        matrix = np.zeros((len(contacts), len(contacts)))
+        for j, driven in enumerate(contacts):
+            column = capacitance_column(solutions[driven], driven,
+                                        contacts=contacts)
+            matrix[:, j] = [column[name].real for name in contacts]
+        return matrix.ravel()
+
+    return extract
+
+
+def capacitance_matrix_names(contacts: list) -> list:
+    """Row-major labels matching :func:`capacitance_matrix_qoi`."""
+    return [f"C_{row}_{col}" for row in contacts for col in contacts]

@@ -19,7 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.problem import VariationalProblem
-from repro.analysis.qoi import interface_current_magnitude
+from repro.analysis.qoi import (
+    interface_current_magnitude,
+    per_port_qoi,
+)
 from repro.errors import StochasticError
 from repro.geometry.builders import MetalPlugDesign, build_metalplug_structure
 from repro.units import um
@@ -57,9 +60,27 @@ class Table1Config:
     surface_model: str = "csv"
 
 
+TABLE1_PORTS = ("plug1", "plug2")
+
+
 def table1_problem(variant: str = "both",
-                   config: Table1Config = None) -> VariationalProblem:
-    """Build the Table I problem for one variation setting."""
+                   config: Table1Config = None,
+                   multi_port: bool = False) -> VariationalProblem:
+    """Build the Table I problem for one variation setting.
+
+    Parameters
+    ----------
+    variant:
+        Variation setting (one of ``VARIANTS``).
+    config:
+        Experiment parameters (default: the paper's).
+    multi_port:
+        When true, each sample solves both plug drives in one batched
+        factorization (:meth:`AVSolver.solve_ports`) and the QoI is the
+        plug-1 interface current magnitude under *each* drive
+        (``J_interface@plug1``, ``J_interface@plug2``) instead of the
+        single plug-1-driven value.
+    """
     if variant not in VARIANTS:
         raise StochasticError(
             f"variant must be one of {VARIANTS}, got {variant!r}")
@@ -81,13 +102,22 @@ def table1_problem(variant: str = "both",
                                  eta=config.eta_m,
                                  max_nodes=config.rdf_nodes)
 
+    qoi = interface_current_magnitude(contact="plug1")
+    qoi_names = ["J_interface"]
+    ports = None
+    if multi_port:
+        ports = list(TABLE1_PORTS)
+        qoi = per_port_qoi(qoi, ports)
+        qoi_names = [f"J_interface@{port}" for port in ports]
+
     return VariationalProblem(
         structure=structure,
         frequency=config.frequency,
         excitations={"plug1": 1.0, "plug2": 0.0},
-        qoi=interface_current_magnitude(contact="plug1"),
-        qoi_names=["J_interface"],
+        qoi=qoi,
+        qoi_names=qoi_names,
         geometry_groups=geometry_groups,
         doping_group=rdf_group,
         surface_model=config.surface_model,
+        ports=ports,
     )

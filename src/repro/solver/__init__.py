@@ -8,13 +8,14 @@
 * :mod:`repro.solver.avsolver` — the user-facing facade.
 """
 
-from repro.solver.linear import solve_sparse
+from repro.solver.linear import SparseFactor, solve_sparse
 from repro.solver.newton import NewtonOptions, damped_newton
 from repro.solver.dc import EquilibriumState, solve_equilibrium
 from repro.solver.ac import ACSolution, ACSystem
 from repro.solver.avsolver import AVSolver
 
 __all__ = [
+    "SparseFactor",
     "solve_sparse",
     "NewtonOptions",
     "damped_newton",

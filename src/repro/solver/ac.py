@@ -46,7 +46,7 @@ from repro.semiconductor.scharfetter_gummel import (
     hole_flux_linearization,
 )
 from repro.solver.dc import EquilibriumState
-from repro.solver.linear import solve_sparse
+from repro.solver.linear import SparseFactor
 
 
 @dataclass
@@ -84,6 +84,23 @@ class ACSolution:
         return self.structure.grid.unflatten_field(self.potential)
 
 
+@dataclass
+class _RestrictedSystem:
+    """The solve-ready restriction for one set of pinned contacts.
+
+    Everything here depends only on *which* contacts are pinned (the
+    Dirichlet node set), not on their voltages, so one instance serves
+    every excitation — and every right-hand side — over that set.
+    """
+
+    unknown: np.ndarray
+    free_v: np.ndarray
+    free_carriers: np.ndarray
+    dirichlet_ids: np.ndarray
+    coupling: sp.csr_matrix
+    factor: "SparseFactor"
+
+
 class ACSystem:
     """Assembles and solves the coupled system for one sample.
 
@@ -112,6 +129,11 @@ class ACSystem:
         self.equilibrium = equilibrium
         self.omega = 2.0 * np.pi * frequency
         self.recombination = recombination
+        # Restricted system + LU per *set* of pinned contacts: the
+        # matrix restriction depends only on which contacts are pinned,
+        # never on their voltages, so every excitation over the same
+        # contact set shares one factorization.
+        self._factor_cache = {}
         self._build_coefficients()
         self._assemble()
 
@@ -276,16 +298,15 @@ class ACSystem:
             (vals, (rows, cols)), shape=(3 * n_nodes, 3 * n_nodes))
 
     # ------------------------------------------------------------------
-    def _partition(self, excitations: dict):
-        """Split global ids into unknown and Dirichlet sets."""
-        n_nodes = self.num_nodes
-        structure = self.structure
-        dirichlet_v = np.zeros(n_nodes, dtype=bool)
-        dirichlet_values = np.zeros(n_nodes, dtype=complex)
-        for contact, voltage in excitations.items():
-            ids = structure.contact_node_ids(contact)
-            dirichlet_v[ids] = True
-            dirichlet_values[ids] = voltage
+    def _partition(self, contacts):
+        """Split global ids into unknown and Dirichlet sets.
+
+        Depends only on *which* contacts are pinned; the pinned
+        voltages live in :meth:`_dirichlet_values`.
+        """
+        dirichlet_v = np.zeros(self.num_nodes, dtype=bool)
+        for contact in contacts:
+            dirichlet_v[self.structure.contact_node_ids(contact)] = True
         if not np.any(dirichlet_v):
             raise GeometryError(
                 "at least one contact excitation is required")
@@ -298,8 +319,40 @@ class ACSystem:
             2 * self.num_nodes + free_carriers,
         ])
         dirichlet_ids = np.nonzero(dirichlet_v)[0]
-        return unknown, free_v, free_carriers, dirichlet_ids, \
-            dirichlet_values[dirichlet_ids]
+        return unknown, free_v, free_carriers, dirichlet_ids
+
+    def _restricted_system(self, excitations) -> "_RestrictedSystem":
+        """Partition + restricted matrices + LU for a pinned-contact set.
+
+        Cached under ``frozenset(excitations)``: every drive over the
+        same contact set — any voltages, any number of right-hand
+        sides — reuses the same factorization.
+        """
+        key = frozenset(excitations)
+        cached = self._factor_cache.get(key)
+        if cached is not None:
+            return cached
+        unknown, free_v, free_carriers, dirichlet_ids = \
+            self._partition(excitations)
+        matrix = self.global_matrix
+        restricted = _RestrictedSystem(
+            unknown=unknown,
+            free_v=free_v,
+            free_carriers=free_carriers,
+            dirichlet_ids=dirichlet_ids,
+            coupling=matrix[unknown][:, dirichlet_ids].tocsr(),
+            factor=SparseFactor(matrix[unknown][:, unknown]),
+        )
+        self._factor_cache[key] = restricted
+        return restricted
+
+    def _dirichlet_values(self, excitations: dict,
+                          dirichlet_ids: np.ndarray) -> np.ndarray:
+        """Pinned voltages in ``dirichlet_ids`` order."""
+        values = np.zeros(self.num_nodes, dtype=complex)
+        for contact, voltage in excitations.items():
+            values[self.structure.contact_node_ids(contact)] = voltage
+        return values[dirichlet_ids]
 
     def _emf_rhs(self, link_emf: np.ndarray) -> np.ndarray:
         """Global RHS from induction EMF on links (full-wave mode).
@@ -347,6 +400,11 @@ class ACSystem:
               link_emf: np.ndarray = None) -> ACSolution:
         """Solve for one set of contact voltages.
 
+        The restriction and LU factorization are cached per pinned
+        contact set, so repeated solves over the same contacts (other
+        voltages, full-wave correction passes, per-port drives) skip
+        straight to the triangular solves.
+
         Parameters
         ----------
         excitations:
@@ -356,24 +414,76 @@ class ACSystem:
             Optional per-link induction voltage ``j w A_l L_l`` from a
             previous Ampere pass (full-wave correction).
         """
-        (unknown, free_v, free_carriers, dirichlet_ids,
-         dirichlet_vals) = self._partition(excitations)
-
-        matrix = self.global_matrix
-        sub = matrix[unknown][:, unknown]
-        rhs = -(matrix[unknown][:, dirichlet_ids] @ dirichlet_vals)
+        restricted = self._restricted_system(excitations)
+        dirichlet_vals = self._dirichlet_values(
+            excitations, restricted.dirichlet_ids)
+        rhs = -(restricted.coupling @ dirichlet_vals)
         if link_emf is not None:
             link_emf = np.asarray(link_emf, dtype=complex)
             if link_emf.shape != (self.geometry.num_links,):
                 raise ExtractionError(
                     f"link_emf must have shape "
                     f"({self.geometry.num_links},)")
-            rhs = rhs + self._emf_rhs(link_emf)[unknown]
-        x = solve_sparse(sub, rhs)
+            rhs = rhs + self._emf_rhs(link_emf)[restricted.unknown]
+        x = restricted.factor.solve(rhs)
+        return self._make_solution(restricted, dirichlet_vals, x,
+                                   dict(excitations), link_emf)
 
+    def solve_ports(self, ports, drive: complex = 1.0) -> list:
+        """Solve every unit port drive with one shared factorization.
+
+        Port ``j``'s excitation pins port ``j`` at ``drive`` volts and
+        every other port at 0 — the standard admittance /
+        Maxwell-capacitance drive pattern.  All ``P`` right-hand sides
+        go through a single multi-RHS triangular solve against the one
+        LU of the shared pinned-contact set, so the cost is one
+        factorization plus ``P`` cheap back-substitutions instead of
+        ``P`` factorizations.
+
+        Parameters
+        ----------
+        ports:
+            Ordered contact names; all of them are pinned in every
+            excitation.
+        drive:
+            Voltage phasor of the driven port (default 1 V).
+
+        Returns
+        -------
+        list
+            ``P`` :class:`ACSolution` objects, one per driven port, in
+            ``ports`` order; each is identical to what ``solve`` would
+            return for the corresponding single excitation.
+        """
+        ports = list(ports)
+        if not ports:
+            raise GeometryError("at least one port is required")
+        if len(set(ports)) != len(ports):
+            raise GeometryError(f"duplicate port names in {ports}")
+        restricted = self._restricted_system(ports)
+        port_excitations = [
+            {name: (drive if name == driven else 0.0) for name in ports}
+            for driven in ports]
+        values = np.column_stack([
+            self._dirichlet_values(exc, restricted.dirichlet_ids)
+            for exc in port_excitations])
+        rhs = -(restricted.coupling @ values)
+        x = restricted.factor.solve(rhs)
+        return [
+            self._make_solution(restricted, values[:, j], x[:, j],
+                                port_excitations[j], None)
+            for j in range(len(ports))]
+
+    def _make_solution(self, restricted: _RestrictedSystem,
+                       dirichlet_vals: np.ndarray, x: np.ndarray,
+                       excitations: dict,
+                       link_emf) -> ACSolution:
+        """Scatter a restricted solution vector back to nodal arrays."""
         n_nodes = self.num_nodes
+        free_v = restricted.free_v
+        free_carriers = restricted.free_carriers
         potential = np.zeros(n_nodes, dtype=complex)
-        potential[dirichlet_ids] = dirichlet_vals
+        potential[restricted.dirichlet_ids] = dirichlet_vals
         potential[free_v] = x[:free_v.size]
         n_ac = np.zeros(n_nodes, dtype=complex)
         p_ac = np.zeros(n_nodes, dtype=complex)
@@ -385,7 +495,7 @@ class ACSystem:
             geometry=self.geometry,
             equilibrium=self.equilibrium,
             omega=self.omega,
-            excitations=dict(excitations),
+            excitations=excitations,
             potential=potential,
             n=n_ac,
             p=p_ac,

@@ -39,7 +39,7 @@ from repro.errors import ExtractionError
 from repro.geometry.structure import Structure
 from repro.mesh.dual import GridGeometry
 from repro.mesh.entities import LinkSet
-from repro.solver.linear import solve_sparse
+from repro.solver.linear import SparseFactor, solve_sparse
 
 
 def _axis_spacings(axis_coords: np.ndarray) -> np.ndarray:
@@ -73,6 +73,11 @@ class AmpereSystem:
         self._build_face_factors()
         self._build_curl_curl(gauge_regularization)
         self._build_divergence()
+        # Both operators are frequency- and excitation-independent, so
+        # their LU factorizations are built once (lazily) and reused by
+        # every staggered pass of a sweep or multi-port study.
+        self._projection_factor = None
+        self._curl_curl_factor = None
 
     # ------------------------------------------------------------------
     def _build_face_factors(self) -> None:
@@ -129,13 +134,15 @@ class AmpereSystem:
         """
         link_current = np.asarray(link_current, dtype=complex)
         divergence = self.div @ link_current
-        laplacian = (self.div @ self.div.T).tolil()
-        # Ground node 0 to fix the nullspace of the graph Laplacian.
-        laplacian[0, :] = 0.0
-        laplacian[0, 0] = 1.0
+        if self._projection_factor is None:
+            laplacian = (self.div @ self.div.T).tolil()
+            # Ground node 0 to fix the nullspace of the graph Laplacian.
+            laplacian[0, :] = 0.0
+            laplacian[0, 0] = 1.0
+            self._projection_factor = SparseFactor(laplacian.tocsr())
         rhs = divergence.copy()
         rhs[0] = 0.0
-        phi = solve_sparse(laplacian.tocsr(), rhs)
+        phi = self._projection_factor.solve(rhs)
         projected = link_current - self.div.T @ phi
         return projected
 
@@ -154,14 +161,38 @@ class AmpereSystem:
         omega:
             Angular frequency for the feedback term.
         """
-        matrix = self.curl_curl + self.gauge * sp.eye(
-            self.links.num_links, format="csr")
-        if admittance_feedback is not None:
-            if omega is None:
-                raise ExtractionError(
-                    "omega is required with admittance_feedback")
-            matrix = matrix - sp.diags(
-                np.asarray(admittance_feedback, dtype=complex)
-                * 1j * omega)
+        if admittance_feedback is not None and omega is None:
+            raise ExtractionError(
+                "omega is required with admittance_feedback")
         rhs = self.solenoidal_projection(link_current)
-        return solve_sparse(matrix.tocsr(), rhs)
+        if admittance_feedback is not None:
+            # Frequency-dependent matrix: no reusable factorization.
+            matrix = (self.curl_curl + self.gauge * sp.eye(
+                self.links.num_links, format="csr")
+                - sp.diags(np.asarray(admittance_feedback,
+                                      dtype=complex) * 1j * omega))
+            return solve_sparse(matrix.tocsr(), rhs)
+        if self._curl_curl_factor is None:
+            self._curl_curl_factor = SparseFactor(
+                (self.curl_curl + self.gauge * sp.eye(
+                    self.links.num_links, format="csr")).tocsr())
+        return self._curl_curl_factor.solve(rhs)
+
+
+def staggered_correction(system, ampere: AmpereSystem, solution):
+    """One staggered full-wave pass over a quasi-static solution.
+
+    Computes the total link currents, solves the Ampere system for the
+    vector potential, and re-solves the coupled system with the induced
+    EMF ``j w A`` on every link.  The re-solve reuses the
+    :class:`~repro.solver.ac.ACSystem`'s cached factorization (same
+    pinned-contact set), and the Ampere operators are factorized once
+    per :class:`AmpereSystem`, so repeated passes cost only triangular
+    solves.
+    """
+    current = system.link_total_current(solution)
+    vector_potential = ampere.solve_vector_potential(current)
+    emf = 1j * system.omega * vector_potential
+    corrected = system.solve(solution.excitations, link_emf=emf)
+    corrected.vector_potential = np.asarray(vector_potential)
+    return corrected

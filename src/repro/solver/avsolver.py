@@ -5,6 +5,15 @@ solves deterministic samples: the nominal geometry, a perturbed-grid
 sample from the variation models, and/or a perturbed doping profile.
 The link topology and nominal geometry are cached so thousands of
 stochastic samples share the expensive invariants.
+
+Per *sample* (one geometry + doping pair) the solver additionally
+caches the DC equilibrium and the assembled :class:`ACSystem`, which in
+turn caches one LU factorization per pinned-contact set.  Repeated
+solves on the same sample — per-port drives, full-wave correction
+passes, repeated QoI extractions — therefore skip the Newton
+equilibrium, the 3N x 3N assembly and the factorization entirely;
+:meth:`AVSolver.solve_ports` solves all port drives as one multi-RHS
+pass.
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ from repro.mesh.dual import GridGeometry, compute_geometry
 from repro.mesh.entities import LinkSet
 from repro.mesh.perturbed import PerturbedGrid
 from repro.solver.ac import ACSolution, ACSystem
-from repro.solver.ampere import AmpereSystem
+from repro.solver.ampere import AmpereSystem, staggered_correction
 from repro.solver.dc import solve_equilibrium
 
 
@@ -57,6 +66,12 @@ class AVSolver:
         self.links = LinkSet(structure.grid)
         self._nominal_geometry = None
         self._ampere = None
+        # One-sample cache: (geometry arg, doping arg, ACSystem).  Keyed
+        # by *object identity* of the sample arguments — a new perturbed
+        # grid or doping profile is a new sample; re-solving the same
+        # objects (sweeps, per-port drives, full-wave passes) reuses the
+        # equilibrium, the assembly and the cached factorizations.
+        self._sample_cache = None
 
     # ------------------------------------------------------------------
     @property
@@ -84,6 +99,29 @@ class AVSolver:
             f"cannot interpret geometry sample of type {type(sample)!r}")
 
     # ------------------------------------------------------------------
+    def system_for(self, geometry=None,
+                   doping_profile: DopingProfile = None) -> ACSystem:
+        """The assembled :class:`ACSystem` of one sample (cached).
+
+        The cache holds the most recent sample, identified by object
+        identity of the ``geometry`` and ``doping_profile`` arguments;
+        passing a different perturbed grid or doping sample invalidates
+        it and triggers a fresh equilibrium solve and assembly.
+        """
+        cached = self._sample_cache
+        if (cached is not None and cached[0] is geometry
+                and cached[1] is doping_profile):
+            return cached[2]
+        grid_geometry = self.geometry_for(geometry)
+        equilibrium = solve_equilibrium(
+            self.structure, grid_geometry, doping_profile=doping_profile)
+        system = ACSystem(self.structure, grid_geometry, equilibrium,
+                          self.frequency,
+                          recombination=self.recombination)
+        self._sample_cache = (geometry, doping_profile, system)
+        return system
+
+    # ------------------------------------------------------------------
     def solve(self, excitations: dict, geometry=None,
               doping_profile: DopingProfile = None) -> ACSolution:
         """Solve one deterministic sample.
@@ -97,27 +135,33 @@ class AVSolver:
         doping_profile:
             Optional RDF doping sample (default: structure doping).
         """
-        grid_geometry = self.geometry_for(geometry)
-        equilibrium = solve_equilibrium(
-            self.structure, grid_geometry, doping_profile=doping_profile)
-        system = ACSystem(self.structure, grid_geometry, equilibrium,
-                          self.frequency,
-                          recombination=self.recombination)
+        system = self.system_for(geometry, doping_profile)
         solution = system.solve(excitations)
         if self.full_wave:
-            solution = self._full_wave_pass(system, solution, excitations)
+            solution = self._full_wave_pass(system, solution)
         return solution
 
+    def solve_ports(self, ports, geometry=None,
+                    doping_profile: DopingProfile = None) -> list:
+        """Solve all unit port drives of one sample in a single batch.
+
+        One equilibrium, one assembly, one LU factorization and one
+        multi-RHS solve cover every port; see
+        :meth:`ACSystem.solve_ports`.  Returns one
+        :class:`ACSolution` per port, in ``ports`` order.
+        """
+        system = self.system_for(geometry, doping_profile)
+        solutions = system.solve_ports(ports)
+        if self.full_wave:
+            solutions = [self._full_wave_pass(system, solution)
+                         for solution in solutions]
+        return solutions
+
     # ------------------------------------------------------------------
-    def _full_wave_pass(self, system: ACSystem, solution: ACSolution,
-                        excitations: dict) -> ACSolution:
+    def _full_wave_pass(self, system: ACSystem,
+                        solution: ACSolution) -> ACSolution:
         """One staggered Ampere iteration (see solver.ampere)."""
         if self._ampere is None:
             self._ampere = AmpereSystem(self.structure,
                                         self.nominal_geometry)
-        current = system.link_total_current(solution)
-        vector_potential = self._ampere.solve_vector_potential(current)
-        emf = 1j * system.omega * vector_potential
-        corrected = system.solve(excitations, link_emf=emf)
-        corrected.vector_potential = np.asarray(vector_potential)
-        return corrected
+        return staggered_correction(system, self._ampere, solution)

@@ -1,10 +1,19 @@
-"""Sparse linear solves with equilibration.
+"""Sparse linear solves with equilibration and factorization reuse.
 
 The coupled system mixes metal conductances (~1e8 S/m), dielectric
 admittances (~1e-2 S/m at 1 GHz) and carrier-flux coefficients scaled by
 densities of 1e21 m^-3, so the raw matrix spans ~30 orders of magnitude.
 Row/column max-equilibration before the LU keeps SuperLU's pivoting
 healthy; the scaling is undone on the solution so callers never see it.
+
+Two entry points:
+
+* :class:`SparseFactor` — factorize once, solve many right-hand sides
+  (``(n,)`` or ``(n, k)`` multi-RHS).  This is the reuse substrate for
+  multi-port / multi-excitation solves where the matrix is fixed and
+  only the Dirichlet data changes.
+* :func:`solve_sparse` — the one-shot convenience wrapper (factorize,
+  solve, discard), kept for callers with a single right-hand side.
 """
 
 from __future__ import annotations
@@ -28,9 +37,129 @@ def _max_abs_rows(matrix: sp.csr_matrix) -> np.ndarray:
     return out
 
 
+class SparseFactor:
+    """Reusable equilibrated sparse LU factorization of a square matrix.
+
+    Factorizes once in ``__init__`` (row/column max-equilibration plus a
+    SuperLU decomposition) and answers any number of :meth:`solve` calls
+    against the same matrix — the expensive part of a multi-port or
+    multi-excitation study is thereby paid once per matrix instead of
+    once per right-hand side.
+
+    Parameters
+    ----------
+    matrix:
+        Square sparse matrix (real or complex).
+    equilibrate:
+        Apply row & column max-scaling before factorizing (default on).
+
+    Raises
+    ------
+    SingularSystemError
+        When the matrix is non-square, has empty rows, or the
+        factorization fails — typically a destroyed mesh sample or a
+        missing boundary condition.
+    """
+
+    def __init__(self, matrix: sp.spmatrix, equilibrate: bool = True):
+        matrix = matrix.tocsr()
+        if matrix.shape[0] != matrix.shape[1]:
+            raise SingularSystemError(
+                f"matrix must be square, got {matrix.shape}")
+        self.shape = matrix.shape
+        self.dtype = matrix.dtype
+        n = matrix.shape[0]
+        if n == 0:
+            self._lu = None
+            self._row_scale = None
+            self._col_scale = None
+            return
+
+        if equilibrate:
+            row_max = _max_abs_rows(matrix)
+            if np.any(row_max == 0.0):
+                empty = int(np.count_nonzero(row_max == 0.0))
+                raise SingularSystemError(
+                    f"{empty} empty matrix rows: some unknowns have no "
+                    f"equation (check boundary conditions)")
+            row_scale = 1.0 / row_max
+            scaled = sp.diags(row_scale) @ matrix
+            col_max = _max_abs_rows(scaled.T.tocsr())
+            col_max[col_max == 0.0] = 1.0
+            col_scale = 1.0 / col_max
+            scaled = (scaled @ sp.diags(col_scale)).tocsc()
+        else:
+            scaled = matrix.tocsc()
+            row_scale = None
+            col_scale = None
+        self._row_scale = row_scale
+        self._col_scale = col_scale
+
+        try:
+            self._lu = spla.splu(scaled)
+        except RuntimeError as exc:
+            raise SingularSystemError(f"sparse LU failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve against one or many right-hand sides.
+
+        Parameters
+        ----------
+        rhs:
+            Shape ``(n,)`` for a single right-hand side or ``(n, k)``
+            for ``k`` of them solved in one multi-RHS pass; the result
+            has the same shape.  A complex ``rhs`` against a real
+            factorization is handled by solving the real and imaginary
+            parts separately (the factorization is not redone).
+
+        Raises
+        ------
+        SingularSystemError
+            On a shape mismatch or a non-finite solution (the
+            factorization was numerically singular).
+        """
+        rhs = np.asarray(rhs)
+        n = self.shape[0]
+        if rhs.shape[0] != n:
+            raise SingularSystemError(
+                f"rhs length {rhs.shape[0]} does not match matrix "
+                f"size {n}")
+        if n == 0:
+            return np.zeros(rhs.shape,
+                            dtype=np.result_type(self.dtype, rhs.dtype))
+
+        if (np.iscomplexobj(rhs)
+                and not np.issubdtype(self.dtype, np.complexfloating)):
+            # SuperLU cannot mix a real factorization with a complex
+            # RHS; solve the parts separately through the same LU.
+            return (self.solve(np.ascontiguousarray(rhs.real))
+                    + 1j * self.solve(np.ascontiguousarray(rhs.imag)))
+
+        if self._row_scale is not None:
+            scale = (self._row_scale if rhs.ndim == 1
+                     else self._row_scale[:, None])
+            scaled_rhs = scale * rhs
+        else:
+            scaled_rhs = rhs
+        y = self._lu.solve(np.asarray(scaled_rhs))
+        if not np.all(np.isfinite(y)):
+            raise SingularSystemError(
+                "solution contains non-finite values")
+        if self._col_scale is not None:
+            scale = (self._col_scale if y.ndim == 1
+                     else self._col_scale[:, None])
+            return scale * y
+        return y
+
+
 def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray,
                  equilibrate: bool = True) -> np.ndarray:
     """Solve ``matrix @ x = rhs`` via equilibrated sparse LU.
+
+    Thin one-shot wrapper over :class:`SparseFactor`; callers that solve
+    the same matrix repeatedly should hold a :class:`SparseFactor`
+    instead so the factorization is reused.
 
     Parameters
     ----------
@@ -48,45 +177,9 @@ def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray,
         typically a destroyed mesh sample or missing boundary condition.
     """
     matrix = matrix.tocsr()
-    n = matrix.shape[0]
-    if matrix.shape[0] != matrix.shape[1]:
-        raise SingularSystemError(
-            f"matrix must be square, got {matrix.shape}")
     rhs = np.asarray(rhs)
-    if rhs.shape[0] != n:
-        raise SingularSystemError(
-            f"rhs length {rhs.shape[0]} does not match matrix size {n}")
-    if n == 0:
-        return np.zeros_like(rhs)
     if np.iscomplexobj(rhs) and not np.iscomplexobj(matrix.data):
-        # SuperLU cannot mix a real factorization with a complex RHS.
+        # Factor in complex arithmetic up front: the one-shot path knows
+        # its RHS, so this beats two real solves.
         matrix = matrix.astype(complex)
-
-    if equilibrate:
-        row_max = _max_abs_rows(matrix)
-        if np.any(row_max == 0.0):
-            empty = int(np.count_nonzero(row_max == 0.0))
-            raise SingularSystemError(
-                f"{empty} empty matrix rows: some unknowns have no "
-                f"equation (check boundary conditions)")
-        dr = sp.diags(1.0 / row_max)
-        scaled = dr @ matrix
-        col_max = _max_abs_rows(scaled.T.tocsr())
-        col_max[col_max == 0.0] = 1.0
-        dc = sp.diags(1.0 / col_max)
-        scaled = (scaled @ dc).tocsc()
-        scaled_rhs = dr @ rhs
-    else:
-        scaled = matrix.tocsc()
-        scaled_rhs = rhs
-        dc = None
-
-    try:
-        lu = spla.splu(scaled)
-        y = lu.solve(np.asarray(scaled_rhs))
-    except RuntimeError as exc:
-        raise SingularSystemError(f"sparse LU failed: {exc}") from exc
-    if not np.all(np.isfinite(y)):
-        raise SingularSystemError("solution contains non-finite values")
-    x = dc @ y if dc is not None else y
-    return x
+    return SparseFactor(matrix, equilibrate=equilibrate).solve(rhs)

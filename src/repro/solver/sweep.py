@@ -1,11 +1,20 @@
 """Frequency sweeps and port admittance extraction.
 
-A small utility layer over :class:`~repro.solver.avsolver.AVSolver`:
-solve the same structure across a frequency list, collecting the port
-admittance matrix ``Y(f)`` (port currents per unit drive).  Useful for
-model-order studies and for locating the dielectric-relaxation
-crossover of the doped substrate — the physics that makes the paper's
-1 GHz operating point interesting for TSVs.
+A small utility layer over the solver stack: solve the same structure
+across a frequency list, collecting the port admittance matrix ``Y(f)``
+(port currents per unit drive).  Useful for model-order studies and for
+locating the dielectric-relaxation crossover of the doped substrate —
+the physics that makes the paper's 1 GHz operating point interesting
+for TSVs.
+
+The sweep is batched end-to-end: the DC equilibrium (frequency
+independent) is solved once for the whole sweep, each frequency
+assembles one :class:`~repro.solver.ac.ACSystem` and factorizes its
+restricted matrix once, and all ``P`` port drives go through that
+single LU as one multi-RHS solve (:meth:`ACSystem.solve_ports`).  With
+``P`` ports and ``F`` frequencies this costs 1 equilibrium + ``F``
+factorizations instead of the ``P x F`` equilibria and factorizations
+of a per-port rebuild.
 """
 
 from __future__ import annotations
@@ -17,7 +26,11 @@ import numpy as np
 from repro.errors import GeometryError
 from repro.extraction.current import port_current
 from repro.geometry.structure import Structure
-from repro.solver.avsolver import AVSolver
+from repro.mesh.dual import compute_geometry
+from repro.mesh.entities import LinkSet
+from repro.solver.ac import ACSystem
+from repro.solver.ampere import AmpereSystem, staggered_correction
+from repro.solver.dc import solve_equilibrium
 
 
 @dataclass
@@ -66,20 +79,30 @@ class SweepResult:
 def frequency_sweep(structure: Structure, frequencies, ports=None,
                     recombination: bool = True,
                     full_wave: bool = False) -> SweepResult:
-    """Solve the structure at each frequency, driving each port in turn.
+    """Characterize the structure across frequency, all ports batched.
+
+    One DC equilibrium serves the whole sweep; per frequency the
+    coupled system is assembled and factorized once and every port
+    drive is solved against that single factorization (the full-wave
+    correction pass, when enabled, also reuses it).
 
     Parameters
     ----------
     structure:
         The structure to characterize.
     frequencies:
-        Iterable of frequencies [Hz].
+        Iterable of frequencies [Hz].  Duplicates are solved once: the
+        result's frequency axis is the *unique sorted* frequency list,
+        so ``result.frequencies.size`` may be smaller than the input.
     ports:
         Contact names to treat as ports (default: all contacts, sorted).
-    recombination, full_wave:
-        Forwarded to :class:`AVSolver`.
+    recombination:
+        Include the SRH linearization (forwarded to :class:`ACSystem`).
+    full_wave:
+        Add the staggered Ampere (induction EMF) correction per port.
     """
-    frequencies = np.asarray(sorted(float(f) for f in frequencies))
+    frequencies = np.unique(
+        np.asarray([float(f) for f in frequencies], dtype=float))
     if frequencies.size == 0:
         raise GeometryError("at least one frequency is required")
     if ports is None:
@@ -88,16 +111,21 @@ def frequency_sweep(structure: Structure, frequencies, ports=None,
     if not ports:
         raise GeometryError("at least one port is required")
 
+    links = LinkSet(structure.grid)
+    geometry = compute_geometry(structure.grid, links=links)
+    equilibrium = solve_equilibrium(structure, geometry)
+    ampere = AmpereSystem(structure, geometry) if full_wave else None
+
     admittance = np.zeros((frequencies.size, len(ports), len(ports)),
                           dtype=complex)
     for k, frequency in enumerate(frequencies):
-        solver = AVSolver(structure, frequency=frequency,
-                          recombination=recombination,
-                          full_wave=full_wave)
-        for j, driven in enumerate(ports):
-            excitation = {name: (1.0 if name == driven else 0.0)
-                          for name in ports}
-            solution = solver.solve(excitation)
+        system = ACSystem(structure, geometry, equilibrium, frequency,
+                          recombination=recombination)
+        solutions = system.solve_ports(ports)
+        if full_wave:
+            solutions = [staggered_correction(system, ampere, solution)
+                         for solution in solutions]
+        for j, solution in enumerate(solutions):
             for i, port in enumerate(ports):
                 admittance[k, i, j] = port_current(solution, port)
     return SweepResult(frequencies=frequencies, ports=ports,
