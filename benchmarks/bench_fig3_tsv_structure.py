@@ -7,7 +7,6 @@ lateral facets grouped as in Section IV.B.  The paper's mesh is 4032
 nodes / 11332 links; the default design lands in the same range.
 """
 
-import numpy as np
 import pytest
 
 from repro.geometry import TsvDesign, build_tsv_structure

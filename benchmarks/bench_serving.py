@@ -1,0 +1,137 @@
+"""SERVING: warm-store statistical queries vs rebuilding the surrogate.
+
+The paper's closing argument is economic: the SSCM costs a sparse grid
+of deterministic solves *once*, after which the quadratic chaos answers
+statistical questions for free (the ~10x headline vs 10000-run MC).
+The serving layer pushes that to its logical end — build once, persist,
+then answer mean/std/quantiles on the stored surrogate at vectorized-
+NumPy cost.
+
+This bench builds the TSV (Table II) preset cold through
+``ensure_surrogate``, then times a full warm round trip: spec hash ->
+store hit -> load -> mean + std + three quantiles from
+``query_samples`` surrogate samples.  Expected shape: the warm query is
+orders of magnitude (>= 50x asserted) faster than the cold build, and
+the second ``ensure_surrogate`` call performs *zero* deterministic
+solves — the instrumented solver count stays at 0.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments import table2_spec
+from repro.reporting import format_kv_block
+from repro.serving import QueryEngine, SurrogateStore, ensure_surrogate
+from repro.solver.avsolver import AVSolver
+
+from conftest import write_report
+
+QUANTILES = (0.01, 0.5, 0.99)
+
+
+@pytest.fixture()
+def solve_counter(monkeypatch):
+    counter = {"count": 0}
+    for name in ("solve", "solve_ports"):
+        original = getattr(AVSolver, name)
+
+        def counting(self, *args, _original=original, **kwargs):
+            counter["count"] += 1
+            return _original(self, *args, **kwargs)
+
+        monkeypatch.setattr(AVSolver, name, counting)
+    return counter
+
+
+def _serving_spec(profile):
+    cfg = profile["serving"]
+    # Group names depend on the facet layout; probe the problem once
+    # (structure build only, no solves) to address the caps.
+    probe = table2_spec(**cfg["params"]).build_problem()
+    caps = {}
+    for group in probe.groups:
+        if group.kind == "doping":
+            caps[group.name] = cfg["cap_doping"]
+        elif "+" in group.name:
+            caps[group.name] = cfg["cap_merged"]
+        else:
+            caps[group.name] = cfg["cap_small"]
+    return table2_spec(reduction={"caps": caps}, **cfg["params"])
+
+
+def test_warm_query_vs_cold_build(profile, output_dir, tmp_path,
+                                  solve_counter):
+    spec = _serving_spec(profile)
+    store = SurrogateStore(tmp_path / "store")
+    samples = profile["serving"]["query_samples"]
+
+    start = time.perf_counter()
+    cold = ensure_surrogate(spec, store)
+    cold_time = time.perf_counter() - start
+    assert cold.built
+    cold_solves = solve_counter["count"]
+    assert cold_solves == cold.num_solves > 0
+
+    # Warm round trip: hash -> hit -> load -> mean/std/quantiles.
+    solve_counter["count"] = 0
+    start = time.perf_counter()
+    warm = ensure_surrogate(spec, store)
+    engine = QueryEngine(warm.record, num_samples=samples)
+    mean = engine.mean()
+    std = engine.std()
+    quantiles = engine.quantiles(QUANTILES)
+    warm_time = time.perf_counter() - start
+
+    assert not warm.built
+    assert warm.num_solves == 0
+    assert solve_counter["count"] == 0, \
+        "second ensure_surrogate ran deterministic solves"
+    np.testing.assert_array_equal(warm.record.pce.coefficients,
+                                  cold.record.pce.coefficients)
+    assert np.all(std > 0.0)
+    assert np.all(quantiles[0] <= quantiles[-1])
+
+    speedup = cold_time / warm_time
+    rows = [
+        ("cache key", spec.cache_key()[:16] + "..."),
+        ("reduced dim d", str(sum(g["reduced_size"]
+                                  for g in cold.record.reduction))),
+        ("cold build solves", str(cold_solves)),
+        ("cold build [s]", f"{cold_time:.3f}"),
+        ("warm solves", "0"),
+        (f"warm query [s] (mean/std/q x {samples} samples)",
+         f"{warm_time:.4f}"),
+        ("speedup", f"{speedup:.1f}x"),
+        ("C_T1 mean/std [F]", f"{mean[0]:.4e} / {std[0]:.4e}"),
+        ("C_T1 q01/q50/q99 [F]",
+         " / ".join(f"{q:.4e}" for q in quantiles[:, 0])),
+    ]
+    write_report(output_dir, "bench_serving",
+                 format_kv_block(rows, title="surrogate serving: warm "
+                                             "store vs cold build"))
+    assert speedup >= 50.0
+
+
+def test_batch_queries_share_the_store(profile, tmp_path, solve_counter):
+    """A multi-query batch against a warm store runs solve-free."""
+    from repro.serving import serve_batch
+
+    spec = _serving_spec(profile)
+    store = SurrogateStore(tmp_path / "store")
+    ensure_surrogate(spec, store)
+    solve_counter["count"] = 0
+
+    samples = profile["serving"]["query_samples"]
+    request = {"spec": spec.to_dict(),
+               "queries": [{"kind": "mean"}, {"kind": "std"},
+                           {"kind": "quantiles", "q": list(QUANTILES),
+                            "num_samples": samples},
+                           {"kind": "yield_below", "limit": 0.0,
+                            "num_samples": samples}]}
+    result = serve_batch({"requests": [request, request]}, store)
+    assert solve_counter["count"] == 0
+    for response in result["responses"]:
+        assert not response["built"]
+        assert len(response["answers"]) == 4

@@ -46,6 +46,12 @@ PROFILES = {
         },
         "fig1_samples": 30,
         "mc_seed": 20120316,  # DATE'12 started March 12-16, 2012
+        "serving": {
+            "params": {"max_step_um": 2.5, "margin_um": 2.5,
+                       "rdf_nodes": 8},
+            "cap_small": 1, "cap_merged": 1, "cap_doping": 1,
+            "query_samples": 100000,
+        },
     },
     "paper": {
         "table1": {
@@ -67,6 +73,12 @@ PROFILES = {
         },
         "fig1_samples": 200,
         "mc_seed": 20120316,
+        "serving": {
+            "params": {"max_step_um": 1.0, "margin_um": 3.0,
+                       "rdf_nodes": 128},
+            "cap_small": 4, "cap_merged": 6, "cap_doping": 6,
+            "query_samples": 1000000,
+        },
     },
 }
 

@@ -1,20 +1,25 @@
-"""Command-line interface: quick inspection and nominal solves.
+"""Command-line interface: inspection, nominal solves, surrogate serving.
 
 Usage::
 
-    python -m repro info metalplug        # structure inventory
-    python -m repro info tsv
+    python -m repro structures            # registered structures/presets
+    python -m repro info tsv --json       # structure inventory
     python -m repro solve metalplug       # nominal coupled solve
-    python -m repro solve tsv             # nominal capacitance column
+    python -m repro build request.json    # build/fetch surrogates
+    python -m repro query request.json    # answer statistical queries
+
+``build`` and ``query`` take JSON request files (see
+:mod:`repro.serving.service`) and emit JSON responses on stdout, so the
+system is scriptable as a service.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-import numpy as np
-
+from repro.errors import ReproError
 from repro.extraction import capacitance_column, port_current
 from repro.geometry import build_metalplug_structure, build_tsv_structure
 from repro.reporting import format_kv_block
@@ -24,6 +29,14 @@ from repro.units import to_femtofarad, to_microampere
 STRUCTURES = {
     "metalplug": build_metalplug_structure,
     "tsv": build_tsv_structure,
+}
+
+#: Contact names per structure, kept static so the ``structures``
+#: inventory command answers without building full meshes (tested
+#: against the builders in tests/test_cli.py).
+STRUCTURE_CONTACTS = {
+    "metalplug": ("plug1", "plug2"),
+    "tsv": ("tsv1", "tsv2", "w1", "w2", "w3", "w4"),
 }
 
 
@@ -36,9 +49,50 @@ def _build(name: str):
             f"{sorted(STRUCTURES)}")
 
 
+def _emit_json(payload) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
 def cmd_info(args) -> int:
     structure = _build(args.structure)
-    print(structure.summary())
+    if args.json:
+        kinds = structure.node_kinds()
+        _emit_json({
+            "structure": args.structure,
+            "grid_shape": list(structure.grid.shape),
+            "num_nodes": int(structure.grid.num_nodes),
+            "materials": [m.name for m in structure.materials.materials],
+            "metal_nodes": int(kinds.num_metal),
+            "semiconductor_nodes": int(kinds.num_semiconductor),
+            "insulator_nodes": int(kinds.num_insulator),
+            "contacts": sorted(structure.contacts),
+        })
+    else:
+        print(structure.summary())
+    return 0
+
+
+def cmd_structures(args) -> int:
+    from repro.serving import list_presets
+    if args.json:
+        _emit_json({
+            "structures": {
+                name: list(STRUCTURE_CONTACTS[name])
+                for name in sorted(STRUCTURES)},
+            "presets": [{
+                "name": preset.name,
+                "description": preset.description,
+                "defaults": preset.defaults,
+            } for preset in list_presets()],
+        })
+        return 0
+    rows = [(name, ", ".join(STRUCTURE_CONTACTS[name]))
+            for name in sorted(STRUCTURES)]
+    print(format_kv_block(rows, title="registered structures (contacts)"))
+    rows = [(preset.name, preset.description)
+            for preset in list_presets()]
+    print(format_kv_block(rows, title="serving presets"))
     return 0
 
 
@@ -52,18 +106,69 @@ def cmd_solve(args) -> int:
     solution = solver.solve(excitation)
     rows = [("frequency [Hz]", f"{args.frequency:.3e}"),
             ("driven contact", driven)]
+    payload = {"structure": args.structure, "frequency": args.frequency,
+               "driven_contact": driven}
     if args.structure == "tsv":
         column = capacitance_column(solution, driven)
+        payload["capacitance_fF"] = {
+            name: to_femtofarad(column[name].real) for name in contacts}
         for name in contacts:
             rows.append((f"C[{name}, {driven}] [fF]",
                          f"{to_femtofarad(column[name].real):+.4f}"))
     else:
+        currents = {name: port_current(solution, name)
+                    for name in contacts}
+        payload["current_uA"] = {
+            name: to_microampere(abs(current))
+            for name, current in currents.items()}
         for name in contacts:
-            current = port_current(solution, name)
             rows.append((f"I({name}) [uA]",
-                         f"{to_microampere(abs(current)):.4f}"))
-    print(format_kv_block(rows, title=f"nominal solve: {args.structure}"))
+                         f"{to_microampere(abs(currents[name])):.4f}"))
+    if args.json:
+        _emit_json(payload)
+    else:
+        print(format_kv_block(rows,
+                              title=f"nominal solve: {args.structure}"))
     return 0
+
+
+def cmd_build(args) -> int:
+    from repro.serving import ensure_surrogate, open_store
+    from repro.serving.service import load_request_file, parse_request
+    from repro.serving.spec import ProblemSpec
+    data = load_request_file(args.request)
+    if isinstance(data, dict) and "requests" in data:
+        specs = [parse_request(req)[0] for req in data["requests"]]
+    elif isinstance(data, dict) and "spec" in data:
+        specs = [parse_request(data)[0]]
+    else:
+        specs = [ProblemSpec.from_dict(data)]
+    store = open_store(args.store)
+    reports = []
+    for spec in specs:
+        report = ensure_surrogate(spec, store, rebuild=args.rebuild)
+        reports.append({
+            "cache_key": report.cache_key,
+            "preset": spec.preset,
+            "built": report.built,
+            "num_solves": report.num_solves,
+            "num_runs": report.record.num_runs,
+            "wall_time": report.wall_time,
+            "output_names": report.record.output_names,
+        })
+    _emit_json({"store": str(store.root), "builds": reports})
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.serving import open_store, serve_batch
+    from repro.serving.service import load_request_file
+    batch = load_request_file(args.request)
+    store = open_store(args.store)
+    result = serve_batch(batch, store,
+                         build_missing=not args.no_build)
+    _emit_json(result)
+    return 1 if any("error" in r for r in result["responses"]) else 0
 
 
 def main(argv=None) -> int:
@@ -75,16 +180,53 @@ def main(argv=None) -> int:
 
     p_info = sub.add_parser("info", help="print a structure inventory")
     p_info.add_argument("structure", choices=sorted(STRUCTURES))
+    p_info.add_argument("--json", action="store_true",
+                        help="machine-readable output")
     p_info.set_defaults(func=cmd_info)
+
+    p_structures = sub.add_parser(
+        "structures",
+        help="list registered structures and serving presets")
+    p_structures.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+    p_structures.set_defaults(func=cmd_structures)
 
     p_solve = sub.add_parser("solve", help="run a nominal coupled solve")
     p_solve.add_argument("structure", choices=sorted(STRUCTURES))
     p_solve.add_argument("--frequency", type=float, default=1.0e9,
                          help="excitation frequency in Hz (default 1e9)")
+    p_solve.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     p_solve.set_defaults(func=cmd_solve)
 
+    p_build = sub.add_parser(
+        "build",
+        help="build (or fetch) surrogates from a JSON spec/request file")
+    p_build.add_argument("request", help="JSON file: a spec, a request, "
+                                         "or a batch of requests")
+    p_build.add_argument("--store", default=None,
+                         help="surrogate store directory "
+                              "(default ~/.cache/repro/surrogates)")
+    p_build.add_argument("--rebuild", action="store_true",
+                         help="rebuild even on a cache hit")
+    p_build.set_defaults(func=cmd_build)
+
+    p_query = sub.add_parser(
+        "query",
+        help="answer statistical queries from a JSON request file")
+    p_query.add_argument("request", help="JSON request/batch file")
+    p_query.add_argument("--store", default=None,
+                         help="surrogate store directory")
+    p_query.add_argument("--no-build", action="store_true",
+                         help="fail on a cache miss instead of building")
+    p_query.set_defaults(func=cmd_query)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -215,3 +215,45 @@ class VariationalProblem:
     def nominal_solution(self):
         """Solve the unperturbed structure (wPFA weights, Fig. 2b)."""
         return self.solver.solve(self.excitations)
+
+    # ------------------------------------------------------------------
+    def spec_signature(self) -> dict:
+        """Deterministic content fingerprint of the problem.
+
+        JSON-serializable and stable across processes: grid axes,
+        frequency, solver flags, QoI labels and a digest of every
+        perturbation group's covariance.  The serving layer stores this
+        alongside a cached surrogate so a hit can be audited against
+        the problem it claims to model (the cache *key* is the
+        declarative :class:`~repro.serving.spec.ProblemSpec`; this is
+        the resolved-problem cross-check).
+        """
+        import hashlib
+
+        def digest(array) -> str:
+            data = np.ascontiguousarray(np.asarray(array, dtype=float))
+            return hashlib.sha256(data.tobytes()).hexdigest()[:16]
+
+        grid = self.structure.grid
+        groups = [{
+            "name": group.name,
+            "kind": group.kind,
+            "size": int(group.size),
+            "axis": None if group.axis is None else int(group.axis),
+            "covariance_sha": digest(group.covariance),
+        } for group in self.groups]
+        return {
+            "grid_axes_sha": digest(np.concatenate(
+                [grid.xs, grid.ys, grid.zs])),
+            "num_nodes": int(grid.num_nodes),
+            "frequency": float(self.frequency),
+            "excitations": sorted(
+                (name, [float(np.real(v)), float(np.imag(v))])
+                for name, v in self.excitations.items()),
+            "surface_model": self.surface_model,
+            "recombination": bool(self.recombination),
+            "full_wave": bool(self.full_wave),
+            "ports": None if self.ports is None else list(self.ports),
+            "qoi_names": list(self.qoi_names),
+            "groups": groups,
+        }

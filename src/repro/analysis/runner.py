@@ -41,6 +41,22 @@ class AnalysisResult:
         return (f"SSCM d={self.dim}, runs={self.num_runs}, "
                 f"{self.reduced_space.summary()}")
 
+    def reduction_metadata(self) -> list:
+        """Per-group reduction bookkeeping as JSON-serializable dicts.
+
+        This is what the serving layer persists next to the fitted PCE
+        so a cached surrogate still documents how its reduced variables
+        map back to the physical perturbation groups.
+        """
+        return [{
+            "name": g.group.name,
+            "kind": g.group.kind,
+            "full_size": int(g.reduction.full_size),
+            "reduced_size": int(g.reduction.reduced_size),
+            "energy_captured": float(g.reduction.energy_captured),
+            "offset": int(g.offset),
+        } for g in self.reduced_space.groups]
+
 
 def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
                       energy: float = 0.95,

@@ -57,3 +57,18 @@ class StochasticError(ReproError):
 class ExtractionError(ReproError):
     """A post-processing quantity could not be computed (e.g. requesting
     the current through an interface that does not exist)."""
+
+
+class ServingError(ReproError):
+    """Invalid surrogate-serving request (unknown preset, malformed
+    spec or query, miss on a read-only store...)."""
+
+
+class StoreCorruptionError(ServingError):
+    """A persisted surrogate entry failed its integrity check (checksum
+    mismatch, truncated payload, missing sidecar fields)."""
+
+
+class StoreSchemaError(ServingError):
+    """A persisted surrogate entry was written under an incompatible
+    schema version and cannot be trusted."""

@@ -9,11 +9,13 @@ grouping) lives in exactly one place.
 from repro.experiments.table1 import (
     Table1Config,
     table1_problem,
+    table1_spec,
     TABLE1_PAPER_VALUES,
 )
 from repro.experiments.table2 import (
     Table2Config,
     table2_problem,
+    table2_spec,
     TABLE2_PAPER_VALUES,
     TABLE2_CONTACTS,
     TABLE2_ROW_NAMES,
@@ -22,9 +24,11 @@ from repro.experiments.table2 import (
 __all__ = [
     "Table1Config",
     "table1_problem",
+    "table1_spec",
     "TABLE1_PAPER_VALUES",
     "Table2Config",
     "table2_problem",
+    "table2_spec",
     "TABLE2_PAPER_VALUES",
     "TABLE2_CONTACTS",
     "TABLE2_ROW_NAMES",

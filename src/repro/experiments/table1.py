@@ -121,3 +121,22 @@ def table1_problem(variant: str = "both",
         surface_model=config.surface_model,
         ports=ports,
     )
+
+
+def table1_spec(variant: str = "both", reduction: dict = None,
+                **params):
+    """Declarative, cacheable form of the Table I experiment.
+
+    Returns a :class:`~repro.serving.spec.ProblemSpec` for the serving
+    layer: ``ensure_surrogate(table1_spec("geometry"), store)`` builds
+    (or fetches) the fitted surrogate for that row of Table I.
+    ``params`` override the preset defaults (``max_step_um``,
+    ``rdf_nodes``, ``frequency``, ...; lengths in microns on the wire).
+    """
+    from repro.serving.spec import ProblemSpec
+    if variant not in VARIANTS:
+        raise StochasticError(
+            f"variant must be one of {VARIANTS}, got {variant!r}")
+    return ProblemSpec(preset="table1",
+                       params={"variant": variant, **params},
+                       reduction=reduction or {})

@@ -115,3 +115,16 @@ def table2_problem(config: Table2Config = None,
         surface_model=config.surface_model,
         ports=ports,
     )
+
+
+def table2_spec(reduction: dict = None, **params):
+    """Declarative, cacheable form of the Table II experiment.
+
+    Returns a :class:`~repro.serving.spec.ProblemSpec`; ``params``
+    override the preset defaults (``max_step_um``, ``margin_um``,
+    ``rdf_nodes``, ``frequency``, ``multi_port``, ...; lengths in
+    microns on the wire).
+    """
+    from repro.serving.spec import ProblemSpec
+    return ProblemSpec(preset="table2", params=dict(params),
+                       reduction=reduction or {})

@@ -12,7 +12,7 @@ benchmarks can trade resolution for runtime; all dimensions are metres.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,101 @@
+"""Build-on-miss: resolve a spec to a stored surrogate.
+
+``ensure_surrogate`` is the serving system's single entry point for
+surrogate acquisition: hash the spec, return the stored record on a
+hit (zero deterministic solves), otherwise run the full SSCM pipeline
+— nominal solve, (w)PFA reduction, sparse-grid collocation on the
+batched multi-port fast paths — fit the quadratic chaos, persist it,
+and return the fresh record.  A corrupted entry is treated as a miss
+and overwritten (self-healing cache); a stale-schema entry is not
+reinterpreted but rebuilt the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.runner import run_sscm_analysis
+from repro.errors import StoreCorruptionError, StoreSchemaError
+from repro.serving.spec import ProblemSpec
+from repro.serving.store import SurrogateRecord, SurrogateStore
+
+
+@dataclass
+class BuildReport:
+    """What ``ensure_surrogate`` did and what it cost.
+
+    ``num_solves`` counts deterministic coupled solves actually run in
+    this call: 0 on a cache hit, nominal + collocation on a build.
+    """
+
+    record: SurrogateRecord
+    built: bool
+    num_solves: int
+    wall_time: float
+    replaced_damaged: bool = False
+
+    @property
+    def cache_key(self) -> str:
+        return self.record.cache_key
+
+
+def build_surrogate(spec: ProblemSpec, progress=None) -> SurrogateRecord:
+    """Run the SSCM pipeline for a spec and wrap the result.
+
+    One nominal solve (wPFA weights) plus one deterministic solve per
+    sparse-grid point; each point reuses PR 1's batched factorization
+    paths through the problem's ``evaluate_sample``.
+    """
+    problem = spec.build_problem()
+    analysis = run_sscm_analysis(problem, progress=progress,
+                                 **spec.analysis_kwargs())
+    return SurrogateRecord(
+        pce=analysis.sscm.pce,
+        spec=spec,
+        reduction=analysis.reduction_metadata(),
+        num_runs=int(analysis.num_runs),
+        wall_time=float(analysis.sscm.wall_time),
+        problem_signature=problem.spec_signature(),
+        created_at=time.time(),
+    )
+
+
+def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
+                     rebuild: bool = False,
+                     progress=None) -> BuildReport:
+    """Return the stored surrogate for ``spec``, building it on a miss.
+
+    Parameters
+    ----------
+    spec:
+        The surrogate identity (preset + params + reduction config).
+    store:
+        Persistent store to consult and populate.
+    rebuild:
+        Force a rebuild even on a hit (e.g. after a solver fix).
+    progress:
+        Optional ``(completed, total)`` callback for the collocation
+        loop of a cold build.
+    """
+    key = spec.cache_key()
+    start = time.perf_counter()
+    replaced_damaged = False
+    if not rebuild:
+        try:
+            record = store.get(key)
+        except (StoreCorruptionError, StoreSchemaError):
+            record = None
+            replaced_damaged = True
+        if record is not None:
+            return BuildReport(record=record, built=False, num_solves=0,
+                               wall_time=time.perf_counter() - start)
+    record = build_surrogate(spec, progress=progress)
+    store.save(record)
+    # One solve per collocation point, plus the nominal solve when the
+    # wPFA needed its weights.
+    nominal = 1 if spec.resolved_reduction()["method"] == "wpfa" else 0
+    num_solves = record.num_runs + nominal
+    return BuildReport(record=record, built=True, num_solves=num_solves,
+                       wall_time=time.perf_counter() - start,
+                       replaced_damaged=replaced_damaged)

@@ -1,0 +1,189 @@
+"""Declarative surrogate specifications and their cache keys.
+
+A :class:`ProblemSpec` is everything needed to (re)build one surrogate:
+a preset name (which structure/QoI family), the preset's parameters
+(structure design, variation model and covariance configuration,
+frequency) and the analysis settings (reduction method, energy,
+per-group caps, sparse-grid level, fit).  It is pure data — JSON in,
+JSON out — so requests can cross process boundaries, and its canonical
+form hashes to a deterministic cache key: two specs describe the same
+surrogate if and only if their keys match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ServingError
+
+#: Bump when the canonical spec layout changes; part of every cache key
+#: so old stores simply miss instead of aliasing.
+SPEC_VERSION = 1
+
+#: Analysis settings and their defaults (resolved into the key, so an
+#: explicit default and an omitted field hash identically).
+REDUCTION_DEFAULTS = {
+    "method": "wpfa",
+    "energy": 0.95,
+    "caps": None,
+    "level": 2,
+    "fit": "quadrature",
+}
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _check_json_scalars(mapping: dict, what: str) -> None:
+    for key, value in mapping.items():
+        if not isinstance(key, str):
+            raise ServingError(f"{what} keys must be strings, got {key!r}")
+        if isinstance(value, dict):
+            _check_json_scalars(value, f"{what}[{key!r}]")
+        elif not isinstance(value, _SCALAR_TYPES):
+            raise ServingError(
+                f"{what}[{key!r}] must be a JSON scalar or mapping, "
+                f"got {type(value).__name__}")
+        elif isinstance(value, float) and not math.isfinite(value):
+            # json.loads admits NaN/Infinity but the canonical wire
+            # format (and any sane cache key) does not.
+            raise ServingError(
+                f"{what}[{key!r}] must be finite, got {value}")
+
+
+@dataclass
+class ProblemSpec:
+    """One surrogate's identity: preset + parameters + analysis config.
+
+    Parameters
+    ----------
+    preset:
+        Registered preset name (see :mod:`repro.serving.presets`).
+    params:
+        Preset parameter overrides (JSON scalars).  Unknown names are
+        rejected at resolve time; omitted names take preset defaults.
+    reduction:
+        Analysis overrides: ``method``, ``energy``, ``caps`` (mapping of
+        group name to hard cap), ``level``, ``fit``.
+    """
+
+    preset: str
+    params: dict = field(default_factory=dict)
+    reduction: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.preset or not isinstance(self.preset, str):
+            raise ServingError(f"preset must be a name, got {self.preset!r}")
+        self.params = dict(self.params or {})
+        self.reduction = dict(self.reduction or {})
+        _check_json_scalars(self.params, "params")
+        unknown = set(self.reduction) - set(REDUCTION_DEFAULTS)
+        if unknown:
+            raise ServingError(
+                f"unknown reduction settings {sorted(unknown)}; "
+                f"valid: {sorted(REDUCTION_DEFAULTS)}")
+        _check_json_scalars(self.reduction, "reduction")
+
+    # ------------------------------------------------------------------
+    def resolved_params(self) -> dict:
+        """Preset defaults overlaid with this spec's overrides."""
+        from repro.serving.presets import get_preset
+        preset = get_preset(self.preset)
+        unknown = set(self.params) - set(preset.defaults)
+        if unknown:
+            raise ServingError(
+                f"unknown parameters {sorted(unknown)} for preset "
+                f"{self.preset!r}; valid: {sorted(preset.defaults)}")
+        return {**preset.defaults, **self.params}
+
+    def resolved_reduction(self) -> dict:
+        return {**REDUCTION_DEFAULTS, **self.reduction}
+
+    def canonical(self) -> dict:
+        """Fully-resolved spec dict — the hashed identity.
+
+        Numbers are normalized (int-valued floats collapse to int), so
+        ``{"rdf_nodes": 8}`` and ``{"rdf_nodes": 8.0}`` — the same
+        problem to every preset builder — hash to the same key.
+        """
+        return {
+            "spec_version": SPEC_VERSION,
+            "preset": self.preset,
+            "params": _normalize_numbers(self.resolved_params()),
+            "reduction": _normalize_numbers(self.resolved_reduction()),
+        }
+
+    def cache_key(self) -> str:
+        """Deterministic content address (sha256 of the canonical JSON).
+
+        Stable across processes and platforms: the canonical dict is
+        serialized with sorted keys and shortest-round-trip float
+        repr, both of which are deterministic in CPython's ``json``.
+        """
+        return hashlib.sha256(
+            canonical_json(self.canonical()).encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    def build_problem(self):
+        """Resolve the spec to a live VariationalProblem (one build)."""
+        from repro.serving.presets import get_preset
+        return get_preset(self.preset).build(self.resolved_params())
+
+    def analysis_kwargs(self) -> dict:
+        """Keyword arguments for run_sscm_analysis."""
+        reduction = self.resolved_reduction()
+        return {
+            "method": reduction["method"],
+            "energy": reduction["energy"],
+            "max_variables_by_group": reduction["caps"],
+            "level": reduction["level"],
+            "fit": reduction["fit"],
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Sparse form (only the overrides) for round-tripping."""
+        return {
+            "preset": self.preset,
+            "params": dict(self.params),
+            "reduction": dict(self.reduction),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProblemSpec":
+        if not isinstance(data, dict):
+            raise ServingError(
+                f"spec must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"preset", "params", "reduction",
+                               "spec_version"}
+        if unknown:
+            raise ServingError(f"unknown spec fields {sorted(unknown)}")
+        if "preset" not in data:
+            raise ServingError("spec is missing the preset name")
+        version = data.get("spec_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ServingError(
+                f"spec version {version} is not supported "
+                f"(this build speaks {SPEC_VERSION})")
+        return cls(preset=data["preset"],
+                   params=data.get("params") or {},
+                   reduction=data.get("reduction") or {})
+
+
+def _normalize_numbers(obj):
+    """Collapse int-valued floats to int, recursively."""
+    if isinstance(obj, dict):
+        return {key: _normalize_numbers(value)
+                for key, value in obj.items()}
+    if isinstance(obj, float) and obj.is_integer() \
+            and abs(obj) <= 2.0 ** 53:
+        return int(obj)
+    return obj
+
+
+def canonical_json(obj) -> str:
+    """Key-sorted, whitespace-free JSON — the hashing wire format."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)

@@ -1,0 +1,230 @@
+"""Content-addressed persistent store for fitted surrogates.
+
+Each entry is one fitted :class:`~repro.stochastic.pce.QuadraticPCE`
+plus its provenance, addressed by the deterministic cache key of the
+:class:`~repro.serving.spec.ProblemSpec` that built it.  On disk an
+entry is an ``.npz`` payload (the arrays) and a ``.json`` sidecar (the
+metadata, schema version and the payload's sha256).  Writes are atomic
+(tmp file + rename) and reads verify the checksum, the schema version
+and the key, so a torn write or a bit flip surfaces as
+:class:`~repro.errors.StoreCorruptionError` instead of silently wrong
+statistics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import (
+    ServingError,
+    StoreCorruptionError,
+    StoreSchemaError,
+)
+from repro.serving.spec import ProblemSpec, canonical_json
+from repro.stochastic.pce import QuadraticPCE
+
+#: On-disk layout version.  Entries written under a different version
+#: are rejected on load (StoreSchemaError) rather than reinterpreted.
+SCHEMA_VERSION = 1
+
+_KEY_HEX = 64
+
+
+@dataclass
+class SurrogateRecord:
+    """A fitted surrogate plus everything needed to trust it later.
+
+    Attributes
+    ----------
+    pce:
+        The fitted quadratic Hermite chaos (the actual surrogate).
+    spec:
+        The declarative spec that identifies (and can rebuild) it.
+    reduction:
+        Per-group reduction metadata
+        (:meth:`~repro.analysis.runner.AnalysisResult.reduction_metadata`).
+    num_runs:
+        Deterministic solver evaluations spent building it.
+    wall_time:
+        Build seconds (collocation only).
+    problem_signature:
+        Resolved-problem fingerprint
+        (:meth:`~repro.analysis.problem.VariationalProblem.spec_signature`)
+        recorded at build time for auditing.
+    created_at:
+        Unix timestamp of the build (0 when unknown).
+    """
+
+    pce: QuadraticPCE
+    spec: ProblemSpec
+    reduction: list = field(default_factory=list)
+    num_runs: int = 0
+    wall_time: float = 0.0
+    problem_signature: dict = None
+    created_at: float = 0.0
+
+    @property
+    def cache_key(self) -> str:
+        return self.spec.cache_key()
+
+    @property
+    def output_names(self) -> list:
+        return self.pce.output_labels()
+
+
+class SurrogateStore:
+    """Directory-backed map from cache key to :class:`SurrogateRecord`."""
+
+    def __init__(self, root):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _paths(self, key: str):
+        if len(key) != _KEY_HEX or any(c not in "0123456789abcdef"
+                                       for c in key):
+            raise ServingError(f"malformed cache key {key!r}")
+        return self.root / f"{key}.npz", self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        payload, sidecar = self._paths(key)
+        return payload.exists() and sidecar.exists()
+
+    def keys(self) -> list:
+        """Keys with a complete payload+sidecar pair (half-written
+        entries from a crash are invisible, matching ``in``/``get``)."""
+        return sorted(p.stem for p in self.root.glob("*.json")
+                      if len(p.stem) == _KEY_HEX
+                      and p.with_suffix(".npz").exists())
+
+    def delete(self, key: str) -> None:
+        for path in self._paths(key):
+            if path.exists():
+                path.unlink()
+
+    # ------------------------------------------------------------------
+    def save(self, record: SurrogateRecord) -> str:
+        """Persist a record; returns its cache key."""
+        key = record.cache_key
+        payload_path, sidecar_path = self._paths(key)
+        buffer = io.BytesIO()
+        np.savez(buffer, **record.pce.to_arrays())
+        payload = buffer.getvalue()
+        sidecar = {
+            "schema_version": SCHEMA_VERSION,
+            "cache_key": key,
+            "npz_sha256": hashlib.sha256(payload).hexdigest(),
+            "spec": record.spec.canonical(),
+            "reduction": record.reduction,
+            "num_runs": int(record.num_runs),
+            "wall_time": float(record.wall_time),
+            "problem_signature": record.problem_signature,
+            "created_at": float(record.created_at or time.time()),
+        }
+        self._atomic_write(payload_path, payload)
+        self._atomic_write(
+            sidecar_path,
+            (canonical_json(sidecar) + "\n").encode("utf-8"))
+        return key
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        # Unique tmp name: concurrent writers of the same key (two
+        # processes building the same miss) never interleave into one
+        # tmp file; last rename wins with a complete entry either way.
+        fd, tmp = tempfile.mkstemp(dir=self.root,
+                                   prefix=path.name + ".",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> SurrogateRecord | None:
+        """Load an entry; ``None`` on a clean miss, raises on damage.
+
+        The payload and sidecar are two files, so a concurrent
+        *overwrite* of the same key (``--rebuild``, self-heal) has a
+        brief window where a reader sees a mismatched pair.  One
+        re-read distinguishes that torn moment from real damage.
+        """
+        self._paths(key)
+        try:
+            return self._read(key)
+        except StoreCorruptionError:
+            time.sleep(0.05)
+            return self._read(key)
+
+    def _read(self, key: str) -> SurrogateRecord | None:
+        payload_path, sidecar_path = self._paths(key)
+        if not payload_path.exists() or not sidecar_path.exists():
+            return None
+        try:
+            sidecar = json.loads(sidecar_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StoreCorruptionError(
+                f"unreadable sidecar for {key}: {exc}") from exc
+        version = sidecar.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"entry {key} was written under schema {version!r}; "
+                f"this build reads schema {SCHEMA_VERSION}")
+        for name in ("cache_key", "npz_sha256", "spec"):
+            if name not in sidecar:
+                raise StoreCorruptionError(
+                    f"sidecar for {key} is missing {name!r}")
+        if sidecar["cache_key"] != key:
+            raise StoreCorruptionError(
+                f"sidecar for {key} claims key {sidecar['cache_key']}")
+        payload = payload_path.read_bytes()
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != sidecar["npz_sha256"]:
+            raise StoreCorruptionError(
+                f"payload checksum mismatch for {key}: stored "
+                f"{sidecar['npz_sha256'][:12]}..., found {digest[:12]}...")
+        try:
+            with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
+                pce = QuadraticPCE.from_arrays(dict(npz.items()))
+        except Exception as exc:
+            raise StoreCorruptionError(
+                f"undecodable payload for {key}: {exc}") from exc
+        # Rehash the *stored* canonical spec (no preset resolution, so
+        # entries written under older preset defaults stay readable);
+        # a mismatch means the sidecar was edited after being written.
+        stored_key = hashlib.sha256(
+            canonical_json(sidecar["spec"]).encode("utf-8")).hexdigest()
+        if stored_key != key:
+            raise StoreCorruptionError(
+                f"sidecar spec for {key} hashes to {stored_key}; "
+                f"the entry was edited after being written")
+        spec = ProblemSpec.from_dict(sidecar["spec"])
+        record = SurrogateRecord(
+            pce=pce,
+            spec=spec,
+            reduction=sidecar.get("reduction") or [],
+            num_runs=int(sidecar.get("num_runs", 0)),
+            wall_time=float(sidecar.get("wall_time", 0.0)),
+            problem_signature=sidecar.get("problem_signature"),
+            created_at=float(sidecar.get("created_at", 0.0)),
+        )
+        return record
+
+    def load(self, key: str) -> SurrogateRecord:
+        """Like :meth:`get` but a miss is an error (read-only callers)."""
+        record = self.get(key)
+        if record is None:
+            raise ServingError(f"no surrogate stored under {key}")
+        return record

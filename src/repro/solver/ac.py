@@ -26,7 +26,7 @@ flux definitions).  The optional ``link_emf`` argument adds the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp

@@ -38,7 +38,6 @@ from repro.em.topology import FaceSet, curl_matrix
 from repro.errors import ExtractionError
 from repro.geometry.structure import Structure
 from repro.mesh.dual import GridGeometry
-from repro.mesh.entities import LinkSet
 from repro.solver.linear import SparseFactor, solve_sparse
 
 

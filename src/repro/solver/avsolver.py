@@ -18,7 +18,6 @@ pass.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import GeometryError
 from repro.geometry.structure import Structure

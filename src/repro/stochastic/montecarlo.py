@@ -56,15 +56,23 @@ def run_monte_carlo(sample_fn, num_runs: int, seed: int = 0,
     if num_runs < 2:
         raise StochasticError(f"num_runs must be >= 2, got {num_runs}")
     rng = np.random.default_rng(seed)
-    values = []
+    values = None
     start = time.perf_counter()
     for k in range(num_runs):
-        values.append(np.atleast_1d(np.asarray(sample_fn(rng),
-                                               dtype=float)))
+        # ravel keeps the historically-accepted (1, k) row vectors.
+        sample = np.asarray(sample_fn(rng), dtype=float).ravel()
+        if values is None:
+            # The QoI width is only known after the first evaluation;
+            # preallocate the full matrix then instead of growing a list.
+            values = np.empty((num_runs, sample.size))
+        if sample.shape != (values.shape[1],):
+            raise StochasticError(
+                f"sample_fn returned shape {sample.shape} on run {k}, "
+                f"expected ({values.shape[1]},)")
+        values[k] = sample
         if progress is not None:
             progress(k + 1, num_runs)
     wall = time.perf_counter() - start
-    values = np.vstack(values)
     return MonteCarloResult(
         mean=values.mean(axis=0),
         std=values.std(axis=0, ddof=1),

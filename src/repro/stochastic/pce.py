@@ -14,6 +14,12 @@ import numpy as np
 from repro.errors import StochasticError
 from repro.stochastic.hermite import HermiteBasis
 
+#: Default number of sample rows evaluated per chunk.  At the paper's
+#: d = 34 the quadratic basis has 630 columns, so one chunk's design
+#: matrix stays under ~85 MB of float64; million-row evaluations never
+#: materialize the full ``(m, basis.size)`` matrix.
+DEFAULT_CHUNK_SIZE = 16384
+
 
 class QuadraticPCE:
     """Hermite PC expansion of a vector-valued quantity of interest.
@@ -103,21 +109,129 @@ class QuadraticPCE:
     def std(self) -> np.ndarray:
         return np.sqrt(self.variance)
 
-    def evaluate(self, zeta: np.ndarray) -> np.ndarray:
+    def evaluate(self, zeta: np.ndarray,
+                 chunk_size: int = None) -> np.ndarray:
         """Evaluate the surrogate at standard-normal points.
 
         ``zeta`` of shape ``(dim,)`` or ``(m, dim)``; returns
-        ``(output_dim,)`` or ``(m, output_dim)``.
+        ``(output_dim,)`` or ``(m, output_dim)``.  With ``chunk_size``
+        set, rows are evaluated in blocks so the ``(m, basis.size)``
+        design matrix is never materialized at once (identical values,
+        bounded memory).
         """
         zeta = np.asarray(zeta, dtype=float)
         single = zeta.ndim == 1
+        if not single and chunk_size is not None \
+                and zeta.shape[0] > chunk_size:
+            if chunk_size < 1:
+                raise StochasticError(
+                    f"chunk_size must be >= 1, got {chunk_size}")
+            out = np.empty((zeta.shape[0], self.output_dim))
+            for start in range(0, zeta.shape[0], chunk_size):
+                block = zeta[start:start + chunk_size]
+                out[start:start + chunk_size] = \
+                    self.basis.evaluate(block) @ self.coefficients
+            return out
         design = self.basis.evaluate(zeta)
         out = design @ self.coefficients
         return out[0] if single else out
 
+    def sample_chunks(self, rng: np.random.Generator, num_samples: int,
+                      chunk_size: int = DEFAULT_CHUNK_SIZE):
+        """Yield ``(start, (count, output_dim))`` evaluated sample blocks.
+
+        The one chunked-sampling loop everything streams through:
+        draws standard normals and evaluates block by block, so neither
+        the design matrix nor the sample matrix is ever materialized.
+        Chunked draws from a :class:`numpy.random.Generator` fill the
+        same stream as one big draw, so concatenated blocks are
+        independent of ``chunk_size``.
+        """
+        if num_samples < 1:
+            raise StochasticError(
+                f"num_samples must be >= 1, got {num_samples}")
+        if chunk_size < 1:
+            raise StochasticError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, num_samples, chunk_size):
+            count = min(chunk_size, num_samples - start)
+            zeta = rng.standard_normal((count, self.basis.dim))
+            yield start, self.evaluate(zeta)
+
+    def sample_values(self, rng: np.random.Generator, num_samples: int,
+                      chunk_size: int = DEFAULT_CHUNK_SIZE) -> np.ndarray:
+        """Draw ``(num_samples, output_dim)`` surrogate samples.
+
+        Chunked via :meth:`sample_chunks`: only the ``output_dim``-wide
+        result is held in full, never the design matrix.
+        """
+        out = np.empty((num_samples, self.output_dim))
+        for start, values in self.sample_chunks(rng, num_samples,
+                                                chunk_size):
+            out[start:start + values.shape[0]] = values
+        return out
+
     def sample_statistics(self, rng: np.random.Generator,
-                          num_samples: int = 100000):
-        """Surrogate Monte Carlo: (mean, std) from cheap samples."""
-        zeta = rng.standard_normal((num_samples, self.basis.dim))
-        values = self.evaluate(zeta)
-        return values.mean(axis=0), values.std(axis=0, ddof=1)
+                          num_samples: int = 100000,
+                          chunk_size: int = DEFAULT_CHUNK_SIZE):
+        """Surrogate Monte Carlo: (mean, std) from cheap samples.
+
+        Streams through :meth:`sample_chunks`, accumulating first and
+        second moments *about the expansion's exact mean* (so the
+        one-pass variance does not cancel catastrophically when
+        ``std << |mean|``); arbitrarily large ``num_samples`` use
+        memory bounded by ``chunk_size`` rows.
+        """
+        if num_samples < 2:
+            raise StochasticError(
+                f"num_samples must be >= 2, got {num_samples}")
+        pivot = self.mean
+        total = np.zeros(self.output_dim)
+        total_sq = np.zeros(self.output_dim)
+        for _, values in self.sample_chunks(rng, num_samples,
+                                            chunk_size):
+            deviations = values - pivot
+            total += deviations.sum(axis=0)
+            total_sq += (deviations * deviations).sum(axis=0)
+        shift = total / num_samples
+        variance = (total_sq - num_samples * shift * shift) \
+            / (num_samples - 1)
+        return pivot + shift, np.sqrt(np.clip(variance, 0.0, None))
+
+    def output_labels(self) -> list:
+        """Output names, or positional ``qoi_k`` placeholders."""
+        if self.output_names is None:
+            return [f"qoi_{k}" for k in range(self.output_dim)]
+        return list(self.output_names)
+
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """Serializable form: plain arrays + scalars (npz-friendly).
+
+        Inverse of :meth:`from_arrays`; the basis is reconstructed from
+        ``(dim, order)``, so only the coefficients carry payload.
+        """
+        arrays = {
+            "dim": np.int64(self.basis.dim),
+            "order": np.int64(self.basis.order),
+            "coefficients": self.coefficients,
+        }
+        if self.output_names is not None:
+            arrays["output_names"] = np.asarray(self.output_names,
+                                                dtype=np.str_)
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "QuadraticPCE":
+        """Rebuild a PCE from :meth:`to_arrays` output."""
+        try:
+            basis = HermiteBasis(int(arrays["dim"]),
+                                 order=int(arrays["order"]))
+            coefficients = np.asarray(arrays["coefficients"], dtype=float)
+        except KeyError as exc:
+            raise StochasticError(
+                f"serialized PCE is missing field {exc}") from exc
+        names = arrays.get("output_names")
+        if names is not None:
+            names = [str(name) for name in np.asarray(names)]
+        return cls(basis, coefficients, output_names=names)

@@ -148,12 +148,12 @@ def smolyak_sparse_grid(dim: int, level: int = 2) -> SparseGrid:
         raise StochasticError(f"dim must be >= 1, got {dim}")
     if level < 0 or level >= len(_LEVEL_SIZES) + 10:
         raise StochasticError(f"unsupported level {level}")
-    rules = [gauss_hermite_rule(_size_for_level(l))
-             for l in range(level + 1)]
+    rules = [gauss_hermite_rule(_size_for_level(lv))
+             for lv in range(level + 1)]
 
     accumulator = {}
     for levels, coeff in _level_multi_indices(dim, level):
-        active = [axis for axis, l in enumerate(levels) if l > 0]
+        active = [axis for axis, lv in enumerate(levels) if lv > 0]
         grids = [rules[levels[axis]] for axis in active]
         # Tensor only over active axes; inactive axes sit at 0 with
         # weight 1 (the 1-point rule).

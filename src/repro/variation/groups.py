@@ -17,7 +17,7 @@ Each group carries its own covariance and is reduced independently by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

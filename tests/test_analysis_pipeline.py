@@ -17,7 +17,6 @@ from repro.analysis import (
 )
 from repro.analysis.problem import VariationalProblem
 from repro.analysis.qoi import (
-    capacitance_column_qoi,
     interface_current_magnitude,
 )
 from repro.errors import StochasticError

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -28,3 +30,95 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_info_json(self, capsys):
+        assert main(["info", "metalplug", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["contacts"] == ["plug1", "plug2"]
+        assert payload["num_nodes"] > 0
+
+    def test_solve_json(self, capsys):
+        assert main(["solve", "metalplug", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["driven_contact"] == "plug1"
+        assert payload["current_uA"]["plug1"] > 0.0
+
+    def test_structures(self, capsys):
+        assert main(["structures"]) == 0
+        out = capsys.readouterr().out
+        assert "metalplug" in out and "tsv" in out
+        assert "table1" in out and "table2" in out
+
+    def test_structures_json(self, capsys):
+        assert main(["structures", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["structures"]["tsv"][0] == "tsv1"
+        names = [p["name"] for p in payload["presets"]]
+        assert names == ["table1", "table2"]
+
+    def test_static_contact_lists_match_builders(self):
+        from repro.__main__ import STRUCTURE_CONTACTS, STRUCTURES
+        assert set(STRUCTURE_CONTACTS) == set(STRUCTURES)
+        for name, build in STRUCTURES.items():
+            assert sorted(STRUCTURE_CONTACTS[name]) \
+                == sorted(build().contacts)
+
+
+class TestServingCli:
+    REQUEST = {
+        "requests": [{
+            "spec": {
+                "preset": "table1",
+                "params": {"variant": "doping", "max_step_um": 2.0,
+                           "rdf_nodes": 6},
+                "reduction": {"caps": {"doping": 1}, "energy": 0.9},
+            },
+            "queries": [{"kind": "mean"},
+                        {"kind": "quantiles", "q": [0.5],
+                         "num_samples": 2000}],
+        }],
+    }
+
+    @pytest.fixture()
+    def request_file(self, tmp_path):
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(self.REQUEST))
+        return str(path)
+
+    def test_build_then_query(self, request_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["build", request_file, "--store", store]) == 0
+        build = json.loads(capsys.readouterr().out)
+        assert build["builds"][0]["built"] is True
+        assert build["builds"][0]["num_solves"] > 0
+
+        assert main(["query", request_file, "--store", store,
+                     "--no-build"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        response = result["responses"][0]
+        assert response["built"] is False
+        assert response["num_solves"] == 0
+        assert response["cache_key"] == build["builds"][0]["cache_key"]
+        kinds = [a["kind"] for a in response["answers"]]
+        assert kinds == ["mean", "quantiles"]
+
+    def test_query_builds_on_miss(self, request_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["query", request_file, "--store", store]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["responses"][0]["built"] is True
+
+    def test_query_no_build_miss_fails(self, request_file, tmp_path,
+                                       capsys):
+        store = str(tmp_path / "store")
+        assert main(["query", request_file, "--store", store,
+                     "--no-build"]) == 1
+        result = json.loads(capsys.readouterr().out)
+        assert "error" in result["responses"][0]
+
+    def test_bad_request_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["query", str(path), "--store",
+                     str(tmp_path / "store")]) == 2
+        assert "error" in capsys.readouterr().err

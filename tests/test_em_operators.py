@@ -13,7 +13,7 @@ from repro.em import (
     scalar_laplacian,
 )
 from repro.geometry import Box, Structure
-from repro.materials import doped_silicon, silicon_dioxide, tungsten
+from repro.materials import doped_silicon, silicon_dioxide
 from repro.mesh import CartesianGrid, LinkSet, compute_geometry
 
 
@@ -156,7 +156,6 @@ class TestLaplacianPhysics:
         v[top] = 1.0
         free = np.setdiff1d(np.arange(grid.num_nodes),
                             np.concatenate([bottom, top]))
-        import scipy.sparse as sp
         import scipy.sparse.linalg as spla
         A = lap.tocsr()
         rhs = -(A[free][:, np.concatenate([bottom, top])]

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import MeshError
-from repro.mesh import CartesianGrid, LinkSet, compute_geometry
+from repro.mesh import CartesianGrid, compute_geometry
 from repro.mesh.dual import node_masked_volumes
 
 
@@ -22,11 +22,11 @@ class TestLinkSet:
         ia, ja, ka = small_grid.node_ijk(small_links.node_a)
         ib, jb, kb = small_grid.node_ijk(small_links.node_b)
         deltas = np.stack([ib - ia, jb - ja, kb - ka], axis=1)
-        for l in range(small_links.num_links):
-            axis = small_links.axis[l]
+        for link in range(small_links.num_links):
+            axis = small_links.axis[link]
             expected = np.zeros(3, dtype=int)
             expected[axis] = 1
-            np.testing.assert_array_equal(deltas[l], expected)
+            np.testing.assert_array_equal(deltas[link], expected)
 
     def test_link_id_roundtrip(self, small_grid, small_links):
         lid = small_links.link_id(1, 0, 1, 2)

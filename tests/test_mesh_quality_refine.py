@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.errors import MeshDestroyedError, MeshError
 from repro.mesh import (
-    CartesianGrid,
     check_mesh_validity,
     graded_axis,
     uniform_axis,

@@ -1,6 +1,5 @@
 """Tests for Sobol variance decomposition and parallel drivers."""
 
-import functools
 
 import numpy as np
 import pytest

@@ -8,7 +8,7 @@ properties of the DC solve, and reciprocity of the capacitance matrix.
 import numpy as np
 import pytest
 
-from repro.constants import EPS0, Q
+from repro.constants import EPS0
 from repro.errors import GeometryError
 from repro.extraction import port_current
 from repro.extraction.capacitance import (

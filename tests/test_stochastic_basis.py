@@ -1,7 +1,5 @@
 """Tests for Hermite basis, Gauss-Hermite rules and sparse grids."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

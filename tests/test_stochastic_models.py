@@ -2,14 +2,11 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import StochasticError
 from repro.stochastic import (
     HermiteBasis,
     QuadraticPCE,
-    ReducedSpace,
     pfa_reduce,
     reduce_groups,
     run_monte_carlo,

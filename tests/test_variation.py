@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import MeshError, StochasticError
 from repro.materials import UniformDoping
-from repro.mesh import CartesianGrid, check_mesh_validity
+from repro.mesh import CartesianGrid
 from repro.variation import (
     ContinuousSurfaceModel,
     GaussianRandomField,
