@@ -1,0 +1,202 @@
+"""ADAPTIVE: dimension-adaptive collocation vs the fixed level-2 grid.
+
+The paper's SSCM always spends ``2 d^2 + 4 d + 1`` solves, however the
+variance is actually distributed over the reduced directions.  The
+adaptive engine (``repro.adaptive``) makes that spend proportional to
+measured anisotropy instead.  Three comparisons, all at matched
+mean/std accuracy (relative error <= 1e-3 against the fixed grid):
+
+* **table1 / table2 presets** — the paper's own settings.  Table I's
+  capped wPFA directions are deliberately balanced, so the adaptive
+  build converges at (not below) the fixed solve count — it certifies
+  the level-2 grid and never costs more.  Table II's capacitance QoI
+  turns out strongly anisotropic across its many facet groups: the
+  adaptive build reaches matched accuracy at a fraction of the solves.
+* **anisotropic physical case** — the Table I doping study with a long
+  RDF correlation length (strong eigen-decay): the adaptive build
+  reaches the same statistics with measurably fewer solves.
+* **anisotropic synthetic** — a quadratic QoI where two of eight
+  directions carry the variance: >= 2x fewer solves, asserted.
+
+Results land in ``output/bench_adaptive.txt`` and machine-readable in
+``output/BENCH_adaptive.json``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.adaptive import AdaptiveConfig, run_adaptive_sscm
+from repro.analysis import run_sscm_analysis
+from repro.experiments import table1_problem, table2_problem
+from repro.reporting import format_kv_block
+from repro.stochastic import smolyak_sparse_grid
+from repro.units import um
+
+from conftest import write_bench_json, write_report
+
+#: Stopping controls used throughout: confined to the level-2 simplex
+#: (so the fixed grid is a hard ceiling) at a 1e-3 relative tolerance.
+ADAPTIVE = AdaptiveConfig(tol=1e-3, max_level=2)
+
+
+def _compare(problem, **analysis_kwargs):
+    """Fixed level-2 vs adaptive on one problem; returns the stats."""
+    start = time.perf_counter()
+    fixed = run_sscm_analysis(problem, **analysis_kwargs)
+    t_fixed = time.perf_counter() - start
+    start = time.perf_counter()
+    adaptive = run_sscm_analysis(problem, refinement=ADAPTIVE,
+                                 **analysis_kwargs)
+    t_adaptive = time.perf_counter() - start
+    scale = np.maximum(np.abs(fixed.mean), 1e-30)
+    sscale = np.maximum(np.abs(fixed.std), 1e-30)
+    return {
+        "dim": int(fixed.dim),
+        "solves_fixed": int(fixed.num_runs),
+        "solves_adaptive": int(adaptive.num_runs),
+        "wall_fixed_s": t_fixed,
+        "wall_adaptive_s": t_adaptive,
+        "solve_reduction": fixed.num_runs / adaptive.num_runs,
+        "mean_rel_err": float(np.max(
+            np.abs(adaptive.mean - fixed.mean) / scale)),
+        "std_rel_err": float(np.max(
+            np.abs(adaptive.std - fixed.std) / sscale)),
+        "termination":
+            adaptive.refinement_metadata()["termination"],
+    }
+
+
+def _synthetic_anisotropic(d=8, eps=1e-6):
+    """Quadratic QoI: directions 0 and 1 carry the variance."""
+    A = np.zeros((d, d))
+    A[0, 0], A[1, 1] = 1.5, 0.8
+    A[0, 1] = A[1, 0] = 0.4
+    b = np.zeros(d)
+    b[0], b[1] = 1.0, 0.5
+    for i in range(2, d):
+        A[i, i] = eps
+        b[i] = eps
+
+    def f(z):
+        return np.array([3.0 + b @ z + z @ A @ z])
+
+    mean = 3.0 + np.trace(A)
+    std = np.sqrt(b @ b + 2.0 * np.sum(A * A))
+    return f, mean, std
+
+
+def test_adaptive_matches_level2_on_presets(profile, output_dir):
+    """Acceptance: both presets reach fixed-grid accuracy (rel err
+    <= 1e-3) with no more than the fixed level-2 solve count."""
+    cases = {}
+
+    t1 = profile["table1"]
+    cases["table1"] = _compare(
+        table1_problem("both", t1["config"]()),
+        max_variables_by_group=t1["caps"])
+
+    srv = profile["serving"]
+    t2 = profile["table2"]
+    problem2 = table2_problem(t2["config"]())
+    caps2 = {}
+    for group in problem2.groups:
+        if group.kind == "doping":
+            caps2[group.name] = srv["cap_doping"]
+        elif "+" in group.name:
+            caps2[group.name] = srv["cap_merged"]
+        else:
+            caps2[group.name] = srv["cap_small"]
+    cases["table2"] = _compare(problem2,
+                               max_variables_by_group=caps2)
+
+    rows = []
+    for name, stats in cases.items():
+        rows.append((f"{name} (d={stats['dim']})",
+                     f"fixed {stats['solves_fixed']} solves "
+                     f"{stats['wall_fixed_s']:.1f}s -> adaptive "
+                     f"{stats['solves_adaptive']} solves "
+                     f"{stats['wall_adaptive_s']:.1f}s "
+                     f"[{stats['termination']}]"))
+        rows.append((f"{name} rel err (mean / std)",
+                     f"{stats['mean_rel_err']:.1e} / "
+                     f"{stats['std_rel_err']:.1e}"))
+    write_report(output_dir, "bench_adaptive_presets",
+                 format_kv_block(rows, title="adaptive vs fixed "
+                                             "level-2: paper presets"))
+    write_bench_json(output_dir, "adaptive_presets", {"cases": cases})
+
+    for name, stats in cases.items():
+        assert stats["solves_adaptive"] <= stats["solves_fixed"], name
+        assert stats["mean_rel_err"] <= 1e-3, name
+        assert stats["std_rel_err"] <= 1e-3, name
+
+
+def test_adaptive_beats_level2_on_anisotropic(profile, output_dir):
+    """Anisotropy pays: fewer solves at matched accuracy — measured on
+    a physical long-correlation doping study and asserted >= 2x on the
+    synthetic two-active-direction quadratic."""
+    from repro.experiments import Table1Config
+    from repro.geometry import MetalPlugDesign
+
+    # Physical: long RDF correlation length -> strong eigen-decay in
+    # the reduced doping space.
+    design = MetalPlugDesign(max_step=um(2.0))
+    config = Table1Config(design=design, rdf_nodes=16, eta_m=um(6.0))
+    physical = _compare(
+        table1_problem("doping", config),
+        energy=1.0, max_variables_by_group={"doping": 8})
+
+    # Synthetic: exact reference statistics, deterministic >= 2x.
+    d = 8
+    f, exact_mean, exact_std = _synthetic_anisotropic(d)
+    start = time.perf_counter()
+    result = run_adaptive_sscm(f, d,
+                               AdaptiveConfig(tol=1e-4, max_level=2))
+    t_synthetic = time.perf_counter() - start
+    fixed_count = smolyak_sparse_grid(d).num_points
+    synthetic = {
+        "dim": d,
+        "solves_fixed": int(fixed_count),
+        "solves_adaptive": int(result.num_runs),
+        "wall_adaptive_s": t_synthetic,
+        "solve_reduction": fixed_count / result.num_runs,
+        "mean_rel_err": float(abs(result.mean[0] - exact_mean)
+                              / abs(exact_mean)),
+        "std_rel_err": float(abs(result.std[0] - exact_std)
+                             / exact_std),
+        "termination": result.termination,
+    }
+
+    rows = [
+        (f"physical doping eta=6um (d={physical['dim']})",
+         f"fixed {physical['solves_fixed']} -> adaptive "
+         f"{physical['solves_adaptive']} solves "
+         f"({physical['solve_reduction']:.2f}x) "
+         f"[{physical['termination']}]"),
+        ("physical rel err (mean / std)",
+         f"{physical['mean_rel_err']:.1e} / "
+         f"{physical['std_rel_err']:.1e}"),
+        (f"synthetic 2-of-{d} directions",
+         f"fixed {synthetic['solves_fixed']} -> adaptive "
+         f"{synthetic['solves_adaptive']} solves "
+         f"({synthetic['solve_reduction']:.2f}x) "
+         f"[{synthetic['termination']}]"),
+        ("synthetic rel err vs exact (mean / std)",
+         f"{synthetic['mean_rel_err']:.1e} / "
+         f"{synthetic['std_rel_err']:.1e}"),
+    ]
+    write_report(output_dir, "bench_adaptive_anisotropic",
+                 format_kv_block(rows, title="adaptive vs fixed "
+                                             "level-2: anisotropy"))
+    write_bench_json(output_dir, "adaptive_anisotropic", {
+        "physical": physical, "synthetic": synthetic})
+
+    # Physical case: strictly fewer solves at matched accuracy.
+    assert physical["solves_adaptive"] < physical["solves_fixed"]
+    assert physical["mean_rel_err"] <= 1e-3
+    assert physical["std_rel_err"] <= 1e-3
+    # Synthetic case: the headline >= 2x, at exact-reference accuracy.
+    assert 2 * synthetic["solves_adaptive"] <= synthetic["solves_fixed"]
+    assert synthetic["mean_rel_err"] <= 1e-3
+    assert synthetic["std_rel_err"] <= 1e-3

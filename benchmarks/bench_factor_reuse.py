@@ -36,7 +36,7 @@ from repro.solver.dc import solve_equilibrium
 from repro.solver.sweep import frequency_sweep
 from repro.units import um
 
-from conftest import write_report
+from conftest import write_bench_json, write_report
 
 FREQUENCIES = tuple(f * 1.0e9 for f in (0.5, 1.0, 2.0, 5.0, 10.0))
 
@@ -106,6 +106,16 @@ def test_factor_reuse_speedup(benchmark, output_dir):
             f"({stats['speedup']:.1f}x), "
             f"max rel mismatch {stats['mismatch']:.2e}")
     write_report(output_dir, "factor_reuse", "\n".join(lines))
+    write_bench_json(output_dir, "factor_reuse", {
+        "frequencies": len(FREQUENCIES),
+        "structures": {name: {
+            "ports": stats["ports"],
+            "wall_time_rebuild_s": stats["t_rebuild"],
+            "wall_time_batched_s": stats["t_batched"],
+            "speedup": stats["speedup"],
+            "max_rel_mismatch": stats["mismatch"],
+        } for name, stats in holder.items()},
+    })
 
     # --- shape assertions -------------------------------------------
     for stats in holder.values():

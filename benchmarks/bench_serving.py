@@ -26,7 +26,7 @@ from repro.reporting import format_kv_block
 from repro.serving import QueryEngine, SurrogateStore, ensure_surrogate
 from repro.solver.avsolver import AVSolver
 
-from conftest import write_report
+from conftest import write_bench_json, write_report
 
 QUANTILES = (0.01, 0.5, 0.99)
 
@@ -111,6 +111,13 @@ def test_warm_query_vs_cold_build(profile, output_dir, tmp_path,
     write_report(output_dir, "bench_serving",
                  format_kv_block(rows, title="surrogate serving: warm "
                                              "store vs cold build"))
+    write_bench_json(output_dir, "serving", {
+        "cold_build_solves": int(cold_solves),
+        "wall_time_cold_s": cold_time,
+        "wall_time_warm_s": warm_time,
+        "speedup": speedup,
+        "query_samples": int(samples),
+    })
     assert speedup >= 50.0
 
 

@@ -17,6 +17,7 @@ numbers survive the pytest run.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -104,3 +105,22 @@ def write_report(output_dir: Path, name: str, text: str) -> None:
     path = output_dir / f"{name}.txt"
     path.write_text(text + "\n")
     print("\n" + text)
+
+
+def write_bench_json(output_dir: Path, name: str, payload: dict) -> Path:
+    """Persist machine-readable benchmark results as ``BENCH_<name>.json``.
+
+    The JSON sits next to the rendered ``.txt`` report so the perf
+    trajectory (solve counts, wall times, speedups) can be diffed
+    across PRs by tooling instead of by eye.  ``payload`` must be
+    JSON-serializable; ``name`` and the active profile are stamped in.
+    """
+    path = output_dir / f"BENCH_{name}.json"
+    document = {
+        "name": name,
+        "profile": os.environ.get("REPRO_BENCH_PROFILE", "fast"),
+        **payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True)
+                    + "\n")
+    return path

@@ -70,8 +70,10 @@ from repro.stochastic import (
     pfa_reduce,
     wpfa_reduce,
 )
+from repro.adaptive import AdaptiveConfig, run_adaptive_sscm
 from repro.analysis import (
     VariationalProblem,
+    run_problem,
     run_sscm_analysis,
     run_mc_analysis,
     ComparisonTable,
@@ -96,7 +98,9 @@ __all__ = [
     "port_current", "metal_semiconductor_current", "capacitance_column",
     "run_sscm", "run_monte_carlo", "smolyak_sparse_grid",
     "pfa_reduce", "wpfa_reduce",
-    "VariationalProblem", "run_sscm_analysis", "run_mc_analysis",
+    "AdaptiveConfig", "run_adaptive_sscm",
+    "VariationalProblem", "run_problem", "run_sscm_analysis",
+    "run_mc_analysis",
     "ComparisonTable",
     "__version__",
 ]

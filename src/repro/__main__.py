@@ -132,6 +132,31 @@ def cmd_solve(args) -> int:
     return 0
 
 
+def _overlay_adaptive(spec, args):
+    """Apply ``--adaptive``/``--tol``/... build flags onto one spec.
+
+    Flags overlay (and win over) whatever adaptive block the request
+    file carries, producing a new spec — and hence a new cache key, so
+    adaptive and fixed builds of the same problem never alias.
+    """
+    from repro.serving.spec import ProblemSpec
+    overrides = {}
+    if args.tol is not None:
+        overrides["tol"] = args.tol
+    if args.max_solves is not None:
+        overrides["max_solves"] = args.max_solves
+    if args.max_level is not None:
+        overrides["max_level"] = args.max_level
+    if not args.adaptive and not overrides:
+        return spec
+    adaptive = dict(spec.reduction.get("adaptive") or {})
+    adaptive.update(overrides)
+    reduction = dict(spec.reduction)
+    reduction["adaptive"] = adaptive
+    return ProblemSpec(preset=spec.preset, params=spec.params,
+                       reduction=reduction)
+
+
 def cmd_build(args) -> int:
     from repro.serving import ensure_surrogate, open_store
     from repro.serving.service import load_request_file, parse_request
@@ -143,11 +168,12 @@ def cmd_build(args) -> int:
         specs = [parse_request(data)[0]]
     else:
         specs = [ProblemSpec.from_dict(data)]
+    specs = [_overlay_adaptive(spec, args) for spec in specs]
     store = open_store(args.store)
     reports = []
     for spec in specs:
         report = ensure_surrogate(spec, store, rebuild=args.rebuild)
-        reports.append({
+        entry = {
             "cache_key": report.cache_key,
             "preset": spec.preset,
             "built": report.built,
@@ -155,7 +181,14 @@ def cmd_build(args) -> int:
             "num_runs": report.record.num_runs,
             "wall_time": report.wall_time,
             "output_names": report.record.output_names,
-        })
+            "adaptive": report.record.refinement is not None,
+        }
+        if report.record.refinement is not None:
+            refinement = report.record.refinement
+            entry["termination"] = refinement.get("termination")
+            entry["error_estimate"] = refinement.get("error_estimate")
+            entry["num_indices"] = len(refinement.get("indices") or [])
+        reports.append(entry)
     _emit_json({"store": str(store.root), "builds": reports})
     return 0
 
@@ -209,6 +242,18 @@ def main(argv=None) -> int:
                               "(default ~/.cache/repro/surrogates)")
     p_build.add_argument("--rebuild", action="store_true",
                          help="rebuild even on a cache hit")
+    p_build.add_argument("--adaptive", action="store_true",
+                         help="collocate with the dimension-adaptive "
+                              "engine instead of the fixed level-2 grid")
+    p_build.add_argument("--tol", type=float, default=None,
+                         help="adaptive: relative error tolerance "
+                              "(implies --adaptive)")
+    p_build.add_argument("--max-solves", type=int, default=None,
+                         help="adaptive: hard cap on deterministic "
+                              "solves (implies --adaptive)")
+    p_build.add_argument("--max-level", type=int, default=None,
+                         help="adaptive: cap on the total refinement "
+                              "level of any index (implies --adaptive)")
     p_build.set_defaults(func=cmd_build)
 
     p_query = sub.add_parser(

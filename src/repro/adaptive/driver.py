@@ -1,0 +1,360 @@
+"""Budgeted dimension-adaptive refinement loop (Gerstner-Griebel).
+
+The fixed level-2 Smolyak grid spends ``2 d^2 + 4 d + 1`` solves no
+matter how anisotropic the reduced variables are.  The adaptive driver
+instead grows a downward-closed index set one index at a time, always
+refining the direction with the largest surplus indicator, until the
+global error estimate drops under ``tol`` or the solve budget runs
+out.  Each accepted index opens a *wave* of admissible neighbors; the
+wave's new collocation points are collected and handed to the
+``solve_many`` hook in a single call when one is supplied (a parallel
+map slots in there — see ROADMAP), falling back to a per-point loop in
+which every solve still rides the multi-port/factorization-reuse
+paths inside ``evaluate_sample``.
+
+Known limitation (inherent to the Gerstner-Griebel indicator): a
+direction whose *every* effect is purely interactive — exactly zero
+response along its own axis but a nonzero cross term — produces a zero
+axis surplus, so the pair index that would reveal it never becomes
+admissible before the tolerance is met.  Physical reduced variables
+always carry an axis response (each one directly perturbs geometry or
+doping), and a ``tol=0`` run with a ``max_level`` cap exhausts the
+whole simplex and is immune.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StochasticError
+from repro.stochastic.hermite import HermiteBasis
+from repro.stochastic.pce import QuadraticPCE
+from repro.stochastic.sparse_grid import SparseGrid
+from repro.adaptive.grid import IncrementalGrid
+from repro.adaptive.indices import MultiIndexSet
+from repro.adaptive.indices import combination_coefficients
+from repro.adaptive.surplus import (
+    difference_quadrature,
+    integral_scale,
+    surplus_indicator,
+)
+from repro.stochastic.gauss_hermite import rule_size_for_level
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Stopping controls of the adaptive refinement loop.
+
+    Parameters
+    ----------
+    tol:
+        Relative tolerance on the global error estimate (the sum of
+        active surplus indicators, each normalized by the running
+        integral magnitude).  0 refines until the budget or the level
+        cap exhausts the admissible indices.
+    max_solves:
+        Hard cap on deterministic solver evaluations (collocation
+        points); ``None`` means unbounded.  Waves that would overshoot
+        the cap are skipped, never truncated mid-tensor.
+    max_level:
+        Cap on the *total* level ``|l|`` of any accepted index
+        (``max_level=2`` confines refinement to subsets of the fixed
+        level-2 Smolyak simplex); ``None`` means uncapped.
+    """
+
+    tol: float = 1e-4
+    max_solves: int = None
+    max_level: int = None
+
+    def __post_init__(self) -> None:
+        tol = self.tol
+        if not isinstance(tol, (int, float)) or not np.isfinite(tol) \
+                or tol < 0:
+            raise StochasticError(
+                f"tol must be a finite non-negative number, got {tol!r}")
+        for name in ("max_solves", "max_level"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise StochasticError(
+                    f"{name} must be a positive integer or None, "
+                    f"got {value!r}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Fully-resolved wire form (participates in spec cache keys)."""
+        return {"tol": float(self.tol),
+                "max_solves": self.max_solves,
+                "max_level": self.max_level}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdaptiveConfig":
+        if isinstance(data, AdaptiveConfig):
+            return data
+        if not isinstance(data, dict):
+            raise StochasticError(
+                f"adaptive config must be a mapping, "
+                f"got {type(data).__name__}")
+        unknown = set(data) - {"tol", "max_solves", "max_level"}
+        if unknown:
+            raise StochasticError(
+                f"unknown adaptive settings {sorted(unknown)}; "
+                f"valid: ['max_level', 'max_solves', 'tol']")
+        kwargs = {}
+        for name in ("tol", "max_solves", "max_level"):
+            if name in data and data[name] is not None:
+                value = data[name]
+                if name != "tol" and isinstance(value, float) \
+                        and value.is_integer():
+                    value = int(value)
+                kwargs[name] = value
+            elif name in data:
+                kwargs[name] = None
+        return cls(**kwargs)
+
+
+@dataclass
+class AdaptiveResult:
+    """Adaptive build output; duck-types
+    :class:`~repro.stochastic.sscm.SSCMResult` (``pce``, ``num_runs``,
+    ``wall_time``, ``grid``, ``mean``, ``std``) so the analysis and
+    serving layers treat both uniformly, and adds the refinement
+    provenance: the accepted index set, the per-acceptance convergence
+    trace and the final error estimate.
+    """
+
+    pce: QuadraticPCE
+    num_runs: int
+    wall_time: float
+    grid: SparseGrid
+    config: AdaptiveConfig
+    indices: list = field(default_factory=list)
+    trace: list = field(default_factory=list)
+    error_estimate: float = 0.0
+    termination: str = "tol"
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.pce.mean
+
+    @property
+    def std(self) -> np.ndarray:
+        return self.pce.std
+
+    @property
+    def output_names(self):
+        return self.pce.output_names
+
+    @property
+    def converged(self) -> bool:
+        """Did the error estimate actually reach the tolerance?"""
+        return self.termination in ("tol", "exhausted")
+
+    def refinement_metadata(self) -> dict:
+        """JSON-serializable provenance for the surrogate store."""
+        return {
+            "config": self.config.to_dict(),
+            "indices": [list(index) for index in self.indices],
+            "trace": list(self.trace),
+            "error_estimate": float(self.error_estimate),
+            "termination": self.termination,
+            "num_solves": int(self.num_runs),
+        }
+
+
+def combination_projection(grid: IncrementalGrid, values: np.ndarray,
+                           indices, basis: HermiteBasis) -> np.ndarray:
+    """Aliasing-free chaos coefficients from a partial index set.
+
+    A single global weighted projection over an *incomplete* sparse
+    grid aliases internally: basis pairs the combined rule does not
+    integrate orthogonally contaminate each other's coefficients (on an
+    axes-only grid, ``He_2`` of an unrefined direction absorbs the
+    curvature of every refined one).  The cure, after Conrad &
+    Marzouk's adaptive pseudospectral construction, is to project *per
+    tensor rule* onto only the basis terms that rule resolves without
+    aliasing (1-D degree < rule size) and sum with the combination
+    coefficients; for the complete level-2 simplex this reproduces the
+    classic Smolyak projection exactly.
+
+    Returns the ``(basis.size, outputs)`` coefficient matrix.
+    """
+    design_all = basis.evaluate(grid.points())
+    coefficients = np.zeros((basis.size, values.shape[1]))
+    for index, coeff in combination_coefficients(indices).items():
+        rows, weights = grid.tensor_rows(index)
+        caps = [rule_size_for_level(level) - 1 for level in index]
+        columns = np.array([
+            k for k, alpha in enumerate(basis.indices)
+            if all(a <= cap for a, cap in zip(alpha, caps))])
+        design = design_all[np.ix_(rows, columns)]
+        raw = design.T @ (weights[:, None] * values[rows])
+        coefficients[columns] += coeff * (
+            raw / basis.norms_squared[columns, None])
+    return coefficients
+
+
+def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
+                      output_names=None, order: int = 2,
+                      solve_many=None, progress=None) -> AdaptiveResult:
+    """Build the quadratic chaos by dimension-adaptive collocation.
+
+    Parameters
+    ----------
+    solve_fn:
+        Callable ``zeta (dim,) -> QoI vector`` (one coupled solve).
+    dim:
+        Number of reduced variables.
+    config:
+        Stopping controls; defaults to :class:`AdaptiveConfig`.
+    output_names:
+        QoI component labels.
+    order:
+        Chaos order of the fitted expansion (2, as in the paper).
+    solve_many:
+        Optional batched evaluator ``(n, dim) points -> (n, outputs)``;
+        each refinement wave goes through it in one call.  Defaults to
+        a row loop over ``solve_fn``.
+    progress:
+        Optional callable ``(solves_done, max_solves or -1)`` invoked
+        after every evaluated wave.
+    """
+    if dim < 1:
+        raise StochasticError(f"dim must be >= 1, got {dim}")
+    config = config or AdaptiveConfig()
+    grid = IncrementalGrid(dim)
+    index_set = MultiIndexSet(dim)
+    values_rows = []
+    trace = []
+    start = time.perf_counter()
+
+    def evaluate_wave(points: np.ndarray) -> None:
+        if points.shape[0] == 0:
+            return
+        if solve_many is not None:
+            block = np.asarray(solve_many(points), dtype=float)
+            block = np.atleast_2d(block)
+            if block.shape[0] != points.shape[0]:
+                raise StochasticError(
+                    f"solve_many returned {block.shape[0]} rows for "
+                    f"{points.shape[0]} points")
+            values_rows.extend(block)
+        else:
+            for point in points:
+                values_rows.append(np.atleast_1d(
+                    np.asarray(solve_fn(point), dtype=float)))
+        if progress is not None:
+            progress(len(values_rows), config.max_solves or -1)
+
+    # Root index: the nominal collocation point.
+    root = (0,) * dim
+    evaluate_wave(grid.register(root))
+    values = np.vstack(values_rows)
+    pivot = values[0].copy()
+
+    def augmented(block: np.ndarray) -> np.ndarray:
+        # Indicators watch [f, (f - f(0))^2]: the mean alone is blind
+        # to an index's effect on the variance (for a quadratic QoI
+        # every cross index has *zero* mean surplus), while the second
+        # moment sees exactly the terms the chaos variance needs.
+        # Centering at the nominal value keeps its scale near the
+        # *variance*, not mean^2 — essential when std << |mean| (the
+        # paper's QoIs), or the tolerance would be met long before the
+        # std converged.
+        deviation = block - pivot
+        return np.hstack([block, deviation * deviation])
+
+    watched = augmented(values)
+    estimate = difference_quadrature(grid, watched, root)
+    surpluses = {root: estimate}
+    index_set.activate(root, surplus_indicator(
+        estimate, integral_scale(estimate)))
+
+    def rescale_active() -> None:
+        # Re-normalize every active indicator against the *current*
+        # integral scale: the variance scale in particular starts near
+        # zero and only settles as refinement accumulates, so
+        # indicators frozen at activation time would be stale.
+        scale = integral_scale(estimate)
+        for active_index in index_set.active:
+            index_set.active[active_index] = surplus_indicator(
+                surpluses[active_index], scale)
+
+    termination = None
+    step = 0
+    while index_set.active:
+        rescale_active()
+        if index_set.error_estimate() <= config.tol and index_set.old:
+            termination = "tol"
+            break
+        index, indicator = index_set.accept_best()
+        step += 1
+
+        # One wave: every admissible neighbor of the accepted index
+        # under the level cap and the solve budget, evaluated in a
+        # single batched call.
+        wave, budget_hit = [], False
+        planned = grid.num_points
+        for candidate in index_set.candidates(index):
+            if config.max_level is not None \
+                    and sum(candidate) > config.max_level:
+                continue
+            cost = grid.new_points(candidate).shape[0]
+            if config.max_solves is not None \
+                    and planned + cost > config.max_solves:
+                budget_hit = True
+                continue
+            planned += cost
+            wave.append(candidate)
+        if wave:
+            evaluate_wave(np.vstack(
+                [grid.register(candidate) for candidate in wave]))
+            values = np.vstack(values_rows)
+            watched = augmented(values)
+        for candidate in wave:
+            surplus = difference_quadrature(grid, watched, candidate)
+            estimate = estimate + surplus
+            surpluses[candidate] = surplus
+            index_set.activate(candidate,
+                               surplus_indicator(
+                                   surplus, integral_scale(estimate)))
+        trace.append({
+            "step": step,
+            "index": list(index),
+            "indicator": float(indicator),
+            "num_solves": int(grid.num_points),
+            "active": len(index_set.active),
+            "error": float(index_set.error_estimate()),
+        })
+        if budget_hit:
+            # Stop as soon as the budget clips a wave: accepting
+            # further indices without expanding their neighborhoods
+            # would drain the active set and launder the error away.
+            rescale_active()
+            termination = ("tol"
+                           if index_set.error_estimate() <= config.tol
+                           else "max_solves")
+            break
+    if termination is None:
+        # Active set drained: the whole admissible space (under the
+        # level cap) has been accepted.
+        termination = "exhausted"
+
+    indices = index_set.indices()
+    final_grid = grid.combined_quadrature(indices)
+    basis = HermiteBasis(dim, order=order)
+    pce = QuadraticPCE(basis,
+                       combination_projection(grid, values, indices,
+                                              basis),
+                       output_names=output_names)
+    wall = time.perf_counter() - start
+    return AdaptiveResult(
+        pce=pce, num_runs=int(grid.num_points), wall_time=wall,
+        grid=final_grid, config=config, indices=indices, trace=trace,
+        error_estimate=float(index_set.error_estimate()),
+        termination=termination)

@@ -1,0 +1,138 @@
+"""Incremental collocation grids over the shared node hierarchy.
+
+An :class:`IncrementalGrid` owns the growing set of collocation points
+of an adaptive refinement run.  Every level multi-index names a full
+tensor Gauss-Hermite rule (1-D sizes from
+:func:`~repro.stochastic.gauss_hermite.rule_size_for_level`); points
+are identified by tuples of exact 1-D node ids from one shared
+:class:`~repro.stochastic.gauss_hermite.NodeTable`, so registering a
+new index yields exactly the points no earlier index produced — the
+solver is never called twice for a coincident node.
+
+Quadrature over any downward-closed index set comes from the
+combination technique: per-point weights are the coefficient-scaled
+sums of the member tensor weights, which for the complete level-``L``
+set reproduce :func:`~repro.stochastic.sparse_grid.smolyak_sparse_grid`
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StochasticError
+from repro.stochastic.gauss_hermite import NodeTable
+from repro.stochastic.sparse_grid import SparseGrid
+from repro.adaptive.indices import combination_coefficients
+
+
+class IncrementalGrid:
+    """Growing point set shared by all registered tensor indices."""
+
+    def __init__(self, dim: int, table: NodeTable = None):
+        if dim < 1:
+            raise StochasticError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.table = table if table is not None else NodeTable()
+        self._row_by_key = {}
+        self._points = []
+        self._tensor = {}  # index -> (rows array, tensor weights array)
+
+    @property
+    def num_points(self) -> int:
+        return len(self._points)
+
+    def points(self) -> np.ndarray:
+        """All registered points, ``(num_points, dim)``, build order."""
+        if not self._points:
+            return np.zeros((0, self.dim))
+        return np.array(self._points)
+
+    # ------------------------------------------------------------------
+    def _tensor_entries(self, index):
+        """``(keys, weights)`` of the full tensor rule of an index."""
+        index = tuple(int(lv) for lv in index)
+        if len(index) != self.dim or any(lv < 0 for lv in index):
+            raise StochasticError(
+                f"index must be {self.dim} non-negative levels, "
+                f"got {index}")
+        keys, weights = self.table.tensor_rule(index)
+        return keys, np.array(weights)
+
+    def new_points(self, index) -> np.ndarray:
+        """Points the tensor rule of ``index`` would add, without
+        registering them (budget checks)."""
+        keys, _ = self._tensor_entries(index)
+        fresh = [key for key in keys if key not in self._row_by_key]
+        # A tensor rule never repeats a key internally, so the count of
+        # unseen keys is the exact number of new solves.
+        if not fresh:
+            return np.zeros((0, self.dim))
+        return np.array([[self.table.value(i) for i in key]
+                         for key in fresh])
+
+    def register(self, index) -> np.ndarray:
+        """Register an index; returns its *new* points ``(n_new, dim)``.
+
+        New points are appended to the global point list in
+        deterministic tensor order; the caller evaluates the solver on
+        exactly these rows (``num_points - n_new`` onward).
+        """
+        index = tuple(int(lv) for lv in index)
+        if index in self._tensor:
+            return np.zeros((0, self.dim))
+        keys, weights = self._tensor_entries(index)
+        new_points = []
+        rows = np.empty(len(keys), dtype=np.intp)
+        for k, key in enumerate(keys):
+            row = self._row_by_key.get(key)
+            if row is None:
+                row = len(self._points)
+                self._row_by_key[key] = row
+                point = np.array([self.table.value(i) for i in key])
+                self._points.append(point)
+                new_points.append(point)
+            rows[k] = row
+        self._tensor[index] = (rows, weights)
+        if not new_points:
+            return np.zeros((0, self.dim))
+        return np.array(new_points)
+
+    def tensor_rows(self, index):
+        """``(rows, weights)`` of a registered index's tensor rule."""
+        index = tuple(int(lv) for lv in index)
+        try:
+            return self._tensor[index]
+        except KeyError:
+            raise StochasticError(f"index {index} is not registered")
+
+    # ------------------------------------------------------------------
+    def combined_weights(self, indices) -> np.ndarray:
+        """Combination-technique weights over *all* registered points.
+
+        ``(num_points,)``, aligned with :meth:`points` (and hence with
+        solver values collected in registration order); points outside
+        the given downward-closed set get weight 0.  Sums to 1 whenever
+        the set contains the zero index.
+        """
+        coefficients = combination_coefficients(indices)
+        weights = np.zeros(self.num_points)
+        for index, coeff in coefficients.items():
+            rows, tensor_weights = self.tensor_rows(index)
+            np.add.at(weights, rows, coeff * tensor_weights)
+        return weights
+
+    def combined_quadrature(self, indices) -> SparseGrid:
+        """Combination-technique rule of a downward-closed index set.
+
+        Returns a :class:`~repro.stochastic.sparse_grid.SparseGrid`
+        over every registered point (weights aligned with solver
+        values); ``level`` reports the largest total level in the set.
+        For the complete level-``L`` simplex this integrates exactly
+        what :func:`~repro.stochastic.sparse_grid.smolyak_sparse_grid`
+        does.
+        """
+        weights = self.combined_weights(indices)
+        level = max(sum(int(lv) for lv in ix) for ix in indices)
+        return SparseGrid(points=self.points(), weights=weights,
+                          level=level)

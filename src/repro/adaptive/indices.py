@@ -1,0 +1,159 @@
+"""Admissible multi-index sets for dimension-adaptive sparse grids.
+
+A Smolyak-type grid is defined by a *downward-closed* (admissible) set
+of level multi-indices: whenever ``l`` is in the set, so is every
+``l - e_i`` with ``l_i > 0``.  The Gerstner-Griebel refinement loop
+maintains that invariant incrementally by partitioning the set into
+*old* indices (accepted, interior) and *active* indices (the frontier,
+each carrying an error indicator): an index may only enter the active
+set once all of its backward neighbors are old.
+
+The combination technique turns any downward-closed set ``S`` into a
+quadrature rule: ``Q_S = sum_{l in S} c(l) Q_l`` with
+``c(l) = sum_{z in {0,1}^d, l+z in S} (-1)^{|z|}``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import StochasticError
+
+
+class MultiIndexSet:
+    """Old/active partition of a downward-closed level-index set.
+
+    Parameters
+    ----------
+    dim:
+        Number of stochastic directions; every index is a ``dim``-tuple
+        of non-negative integer levels.
+    """
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise StochasticError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.old = set()
+        self.active = {}  # index -> error indicator (float)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, index) -> bool:
+        return index in self.old or index in self.active
+
+    def __len__(self) -> int:
+        return len(self.old) + len(self.active)
+
+    def indices(self) -> list:
+        """All indices (old + active), sorted for determinism."""
+        return sorted(self.old) + sorted(self.active)
+
+    def _check(self, index) -> tuple:
+        index = tuple(int(lv) for lv in index)
+        if len(index) != self.dim or any(lv < 0 for lv in index):
+            raise StochasticError(
+                f"index must be {self.dim} non-negative levels, "
+                f"got {index}")
+        return index
+
+    # ------------------------------------------------------------------
+    def backward_neighbors(self, index) -> list:
+        index = self._check(index)
+        return [index[:axis] + (index[axis] - 1,) + index[axis + 1:]
+                for axis in range(self.dim) if index[axis] > 0]
+
+    def forward_neighbors(self, index) -> list:
+        index = self._check(index)
+        return [index[:axis] + (index[axis] + 1,) + index[axis + 1:]
+                for axis in range(self.dim)]
+
+    def is_admissible(self, index) -> bool:
+        """May ``index`` enter the active set now?
+
+        True when it is not already present and every backward neighbor
+        has been accepted (is old) — adding it keeps the whole set
+        downward-closed.
+        """
+        index = self._check(index)
+        if index in self:
+            return False
+        return all(back in self.old
+                   for back in self.backward_neighbors(index))
+
+    # ------------------------------------------------------------------
+    def activate(self, index, indicator: float) -> None:
+        """Add an admissible index to the frontier with its indicator."""
+        index = self._check(index)
+        if not self.is_admissible(index):
+            raise StochasticError(
+                f"index {index} is not admissible "
+                f"(already present or missing backward neighbors)")
+        self.active[index] = float(indicator)
+
+    def accept_best(self) -> tuple:
+        """Move the largest-indicator active index to the old set.
+
+        Ties break on the smaller index (deterministic refinement).
+        Returns ``(index, indicator)``.
+        """
+        if not self.active:
+            raise StochasticError("no active indices to accept")
+        index = min(self.active,
+                    key=lambda ix: (-self.active[ix], ix))
+        indicator = self.active.pop(index)
+        self.old.add(index)
+        return index, indicator
+
+    def candidates(self, index) -> list:
+        """Admissible forward neighbors of a just-accepted index."""
+        return [fwd for fwd in self.forward_neighbors(index)
+                if self.is_admissible(fwd)]
+
+    def error_estimate(self) -> float:
+        """Gerstner-Griebel global estimate: sum of active indicators."""
+        return float(sum(self.active.values()))
+
+
+def is_downward_closed(indices) -> bool:
+    """True when every backward neighbor of every index is present."""
+    index_set = set(tuple(ix) for ix in indices)
+    for index in index_set:
+        for axis, lv in enumerate(index):
+            if lv > 0:
+                back = index[:axis] + (lv - 1,) + index[axis + 1:]
+                if back not in index_set:
+                    return False
+    return True
+
+
+def combination_coefficients(indices) -> dict:
+    """Combination-technique coefficients of a downward-closed set.
+
+    ``c(l) = sum over binary offsets z with l+z in the set of
+    (-1)^|z|``; indices whose coefficient is zero are omitted from the
+    returned mapping.
+
+    Computed by scattering instead of gathering: each member ``m``
+    contributes ``(-1)^|T|`` to ``c(m - 1_T)`` for every subset ``T``
+    of its support (all of which lie in the set by downward
+    closure), so the cost is ``2^|support|`` per member — indices are
+    sparse (a few active directions), never ``2^dim``.
+    """
+    index_set = set(tuple(int(lv) for lv in ix) for ix in indices)
+    if not index_set:
+        raise StochasticError("index set is empty")
+    if not is_downward_closed(index_set):
+        raise StochasticError("index set is not downward-closed")
+    coefficients = {}
+    for member in index_set:
+        support = [axis for axis, lv in enumerate(member) if lv > 0]
+        for count in range(len(support) + 1):
+            sign = (-1) ** count
+            for axes in combinations(support, count):
+                lower = list(member)
+                for axis in axes:
+                    lower[axis] -= 1
+                lower = tuple(lower)
+                coefficients[lower] = coefficients.get(lower, 0) + sign
+    return {index: coeff for index, coeff in coefficients.items()
+            if coeff != 0}

@@ -18,6 +18,7 @@ from repro.analysis.qoi import (
 from repro.analysis.weights import nominal_weights
 from repro.analysis.runner import (
     AnalysisResult,
+    run_problem,
     run_sscm_analysis,
     run_mc_analysis,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "per_port_qoi",
     "nominal_weights",
     "AnalysisResult",
+    "run_problem",
     "run_sscm_analysis",
     "run_mc_analysis",
     "ComparisonTable",

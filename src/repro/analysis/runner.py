@@ -1,4 +1,12 @@
-"""Pipeline runners: SSCM and Monte Carlo on a VariationalProblem."""
+"""Pipeline runners: SSCM and Monte Carlo on a VariationalProblem.
+
+``run_sscm_analysis`` (alias ``run_problem``) collocates either on the
+paper's fixed level-2 Smolyak grid or — when a
+:class:`~repro.adaptive.driver.AdaptiveConfig` is passed as
+``refinement`` — through the dimension-adaptive engine, which spends
+solves only on the stochastic directions whose surplus indicators say
+they matter.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.adaptive.driver import AdaptiveConfig, run_adaptive_sscm
+from repro.errors import StochasticError
 from repro.stochastic.montecarlo import MonteCarloResult, run_monte_carlo
 from repro.stochastic.reduction import ReducedSpace, reduce_groups
 from repro.stochastic.sscm import SSCMResult, run_sscm
@@ -57,21 +67,46 @@ class AnalysisResult:
             "offset": int(g.offset),
         } for g in self.reduced_space.groups]
 
+    def refinement_metadata(self) -> dict:
+        """Adaptive-build provenance (accepted index set, convergence
+        trace, stopping config) as a JSON-serializable dict, or
+        ``None`` for fixed-grid builds.  Persisted by the serving
+        layer so adaptive surrogates replay from the store with zero
+        solves *and* full audit history.
+        """
+        metadata = getattr(self.sscm, "refinement_metadata", None)
+        return metadata() if callable(metadata) else None
+
 
 def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
                       energy: float = 0.95,
                       max_variables_by_group: dict = None,
                       level: int = 2, fit: str = "quadrature",
                       nominal_solution=None,
+                      refinement: AdaptiveConfig = None,
                       progress=None) -> AnalysisResult:
     """Full SSCM pipeline (paper Sections II.B + III.C).
 
     1. Solve the nominal structure and derive the wPFA weights.
     2. Reduce every perturbation group ((w)PFA).
-    3. Collocate the deterministic solver on the level-``level`` sparse
-       grid over the ``d`` reduced variables.
+    3. Collocate the deterministic solver over the ``d`` reduced
+       variables: on the fixed level-``level`` sparse grid, or — when
+       ``refinement`` carries an
+       :class:`~repro.adaptive.driver.AdaptiveConfig` — through the
+       dimension-adaptive engine under its ``tol`` / ``max_solves`` /
+       ``max_level`` stopping controls.  ``level`` is then ignored
+       (the engine grows its own grid) and ``fit`` must stay
+       ``"quadrature"`` (the engine owns its projection); every
+       collocation point still rides the multi-port
+       factorization-reuse solve paths inside ``evaluate_sample``.
     4. Fit the quadratic Hermite chaos and read off mean / std.
     """
+    if refinement is not None and fit != "quadrature":
+        # The adaptive engine fits by combination projection; a
+        # regression request would be silently overridden.
+        raise StochasticError(
+            f"fit={fit!r} is incompatible with adaptive "
+            f"refinement (which owns its projection)")
     weights = None
     if method == "wpfa":
         weights = nominal_weights(problem, solution=nominal_solution)
@@ -83,10 +118,23 @@ def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
         xi_by_group = reduced_space.split(zeta)
         return problem.evaluate_sample(xi_by_group)
 
-    sscm = run_sscm(solve_fn, reduced_space.dim,
-                    output_names=problem.qoi_names, level=level, fit=fit,
-                    progress=progress)
+    if refinement is not None:
+        if isinstance(refinement, dict):
+            refinement = AdaptiveConfig.from_dict(refinement)
+        sscm = run_adaptive_sscm(solve_fn, reduced_space.dim,
+                                 config=refinement,
+                                 output_names=problem.qoi_names,
+                                 progress=progress)
+    else:
+        sscm = run_sscm(solve_fn, reduced_space.dim,
+                        output_names=problem.qoi_names, level=level,
+                        fit=fit, progress=progress)
     return AnalysisResult(sscm=sscm, reduced_space=reduced_space)
+
+
+#: The problem-level entry point by its serving-facing name: "run this
+#: problem", fixed-grid by default, adaptive when ``refinement`` is set.
+run_problem = run_sscm_analysis
 
 
 def run_mc_analysis(problem: VariationalProblem, num_runs: int,

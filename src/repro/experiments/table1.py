@@ -124,7 +124,7 @@ def table1_problem(variant: str = "both",
 
 
 def table1_spec(variant: str = "both", reduction: dict = None,
-                **params):
+                adaptive=None, **params):
     """Declarative, cacheable form of the Table I experiment.
 
     Returns a :class:`~repro.serving.spec.ProblemSpec` for the serving
@@ -132,11 +132,18 @@ def table1_spec(variant: str = "both", reduction: dict = None,
     (or fetches) the fitted surrogate for that row of Table I.
     ``params`` override the preset defaults (``max_step_um``,
     ``rdf_nodes``, ``frequency``, ...; lengths in microns on the wire).
+    ``adaptive`` — an
+    :class:`~repro.adaptive.driver.AdaptiveConfig` or its dict form
+    (``tol``/``max_solves``/``max_level``) — switches the build to the
+    dimension-adaptive engine and becomes part of the cache key.
     """
     from repro.serving.spec import ProblemSpec
     if variant not in VARIANTS:
         raise StochasticError(
             f"variant must be one of {VARIANTS}, got {variant!r}")
+    reduction = dict(reduction or {})
+    if adaptive is not None:
+        reduction["adaptive"] = adaptive
     return ProblemSpec(preset="table1",
                        params={"variant": variant, **params},
-                       reduction=reduction or {})
+                       reduction=reduction)

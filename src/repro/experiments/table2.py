@@ -117,14 +117,20 @@ def table2_problem(config: Table2Config = None,
     )
 
 
-def table2_spec(reduction: dict = None, **params):
+def table2_spec(reduction: dict = None, adaptive=None, **params):
     """Declarative, cacheable form of the Table II experiment.
 
     Returns a :class:`~repro.serving.spec.ProblemSpec`; ``params``
     override the preset defaults (``max_step_um``, ``margin_um``,
     ``rdf_nodes``, ``frequency``, ``multi_port``, ...; lengths in
-    microns on the wire).
+    microns on the wire).  ``adaptive`` — an
+    :class:`~repro.adaptive.driver.AdaptiveConfig` or its dict form —
+    switches the build to the dimension-adaptive engine and becomes
+    part of the cache key.
     """
     from repro.serving.spec import ProblemSpec
+    reduction = dict(reduction or {})
+    if adaptive is not None:
+        reduction["adaptive"] = adaptive
     return ProblemSpec(preset="table2", params=dict(params),
-                       reduction=reduction or {})
+                       reduction=reduction)

@@ -58,6 +58,7 @@ def build_surrogate(spec: ProblemSpec, progress=None) -> SurrogateRecord:
         wall_time=float(analysis.sscm.wall_time),
         problem_signature=problem.spec_signature(),
         created_at=time.time(),
+        refinement=analysis.refinement_metadata(),
     )
 
 

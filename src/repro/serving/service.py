@@ -68,6 +68,7 @@ def serve_request(request: dict, store: SurrogateStore,
         "preset": spec.preset,
         "built": built,
         "num_solves": num_solves,
+        "adaptive": record.refinement is not None,
         "output_names": record.output_names,
         "answers": [engine.answer(query) for query in queries],
     }

@@ -25,12 +25,18 @@ SPEC_VERSION = 1
 
 #: Analysis settings and their defaults (resolved into the key, so an
 #: explicit default and an omitted field hash identically).
+#: ``adaptive`` is ``None`` (the paper's fixed level-2 grid) or a
+#: mapping of stopping controls (``tol``, ``max_solves``,
+#: ``max_level``) handed to the dimension-adaptive engine; it is part
+#: of the canonical form, so adaptive and fixed builds of the same
+#: problem never alias in the store.
 REDUCTION_DEFAULTS = {
     "method": "wpfa",
     "energy": 0.95,
     "caps": None,
     "level": 2,
     "fit": "quadrature",
+    "adaptive": None,
 }
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
@@ -84,6 +90,31 @@ class ProblemSpec:
             raise ServingError(
                 f"unknown reduction settings {sorted(unknown)}; "
                 f"valid: {sorted(REDUCTION_DEFAULTS)}")
+        adaptive = self.reduction.get("adaptive")
+        if adaptive is not None:
+            # Accept a live AdaptiveConfig for convenience; the wire
+            # form is always its resolved dict.
+            from repro.adaptive.driver import AdaptiveConfig
+            from repro.errors import StochasticError
+            if isinstance(adaptive, AdaptiveConfig):
+                self.reduction["adaptive"] = adaptive.to_dict()
+            else:
+                try:
+                    AdaptiveConfig.from_dict(adaptive)
+                except StochasticError as exc:
+                    raise ServingError(
+                        f"reduction['adaptive']: {exc}") from exc
+            # The adaptive engine owns its grid growth and projection:
+            # a non-default 'level' or 'fit' would be silently ignored
+            # by the build yet still split the cache key into duplicate
+            # entries, so it is rejected outright.
+            for name in ("level", "fit"):
+                value = self.reduction.get(name, REDUCTION_DEFAULTS[name])
+                if value != REDUCTION_DEFAULTS[name]:
+                    raise ServingError(
+                        f"reduction[{name!r}]={value!r} has no effect "
+                        f"on an adaptive build; drop it or remove the "
+                        f"adaptive block")
         _check_json_scalars(self.reduction, "reduction")
 
     # ------------------------------------------------------------------
@@ -99,7 +130,16 @@ class ProblemSpec:
         return {**preset.defaults, **self.params}
 
     def resolved_reduction(self) -> dict:
-        return {**REDUCTION_DEFAULTS, **self.reduction}
+        """Defaults overlaid with overrides; the adaptive block (when
+        present) is expanded to its full stopping-control form, so
+        ``{"tol": 1e-3}`` and ``{"tol": 1e-3, "max_level": None, ...}``
+        hash to the same cache key."""
+        reduction = {**REDUCTION_DEFAULTS, **self.reduction}
+        if reduction["adaptive"] is not None:
+            from repro.adaptive.driver import AdaptiveConfig
+            reduction["adaptive"] = AdaptiveConfig.from_dict(
+                reduction["adaptive"]).to_dict()
+        return reduction
 
     def canonical(self) -> dict:
         """Fully-resolved spec dict — the hashed identity.
@@ -107,12 +147,21 @@ class ProblemSpec:
         Numbers are normalized (int-valued floats collapse to int), so
         ``{"rdf_nodes": 8}`` and ``{"rdf_nodes": 8.0}`` — the same
         problem to every preset builder — hash to the same key.
+
+        A ``None`` adaptive block is *omitted* rather than serialized:
+        fixed-grid specs keep the exact canonical form (and cache
+        keys) they had before the adaptive engine existed, so stores
+        populated earlier stay warm, while adaptive specs add the
+        block and therefore can never alias a fixed-grid entry.
         """
+        reduction = self.resolved_reduction()
+        if reduction["adaptive"] is None:
+            del reduction["adaptive"]
         return {
             "spec_version": SPEC_VERSION,
             "preset": self.preset,
             "params": _normalize_numbers(self.resolved_params()),
-            "reduction": _normalize_numbers(self.resolved_reduction()),
+            "reduction": _normalize_numbers(reduction),
         }
 
     def cache_key(self) -> str:
@@ -134,12 +183,17 @@ class ProblemSpec:
     def analysis_kwargs(self) -> dict:
         """Keyword arguments for run_sscm_analysis."""
         reduction = self.resolved_reduction()
+        refinement = None
+        if reduction["adaptive"] is not None:
+            from repro.adaptive.driver import AdaptiveConfig
+            refinement = AdaptiveConfig.from_dict(reduction["adaptive"])
         return {
             "method": reduction["method"],
             "energy": reduction["energy"],
             "max_variables_by_group": reduction["caps"],
             "level": reduction["level"],
             "fit": reduction["fit"],
+            "refinement": refinement,
         }
 
     # ------------------------------------------------------------------

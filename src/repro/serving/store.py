@@ -62,6 +62,13 @@ class SurrogateRecord:
         recorded at build time for auditing.
     created_at:
         Unix timestamp of the build (0 when unknown).
+    refinement:
+        Adaptive-build provenance
+        (:meth:`~repro.analysis.runner.AnalysisResult.refinement_metadata`):
+        the stopping config, accepted multi-index set, convergence
+        trace and termination reason — ``None`` for fixed-grid builds.
+        A replayed adaptive surrogate therefore still documents every
+        refinement decision that shaped it.
     """
 
     pce: QuadraticPCE
@@ -71,6 +78,7 @@ class SurrogateRecord:
     wall_time: float = 0.0
     problem_signature: dict = None
     created_at: float = 0.0
+    refinement: dict = None
 
     @property
     def cache_key(self) -> str:
@@ -129,6 +137,7 @@ class SurrogateStore:
             "wall_time": float(record.wall_time),
             "problem_signature": record.problem_signature,
             "created_at": float(record.created_at or time.time()),
+            "refinement": record.refinement,
         }
         self._atomic_write(payload_path, payload)
         self._atomic_write(
@@ -219,6 +228,7 @@ class SurrogateStore:
             wall_time=float(sidecar.get("wall_time", 0.0)),
             problem_signature=sidecar.get("problem_signature"),
             created_at=float(sidecar.get("created_at", 0.0)),
+            refinement=sidecar.get("refinement"),
         )
         return record
 

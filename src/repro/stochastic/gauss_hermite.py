@@ -13,6 +13,23 @@ from numpy.polynomial.hermite_e import hermegauss
 
 from repro.errors import StochasticError
 
+#: 1-D rule sizes of the first levels of the sparse-grid hierarchy.
+_LEVEL_SIZES = (1, 3, 5)
+
+
+def rule_size_for_level(level: int) -> int:
+    """1-D rule size at a hierarchy level: 1, 3, 5, 9, 17, ...
+
+    Levels beyond the tabulated ones double the polynomial-exactness
+    degree (``m -> 2m - 1``), matching the growth the Smolyak
+    construction assumes.
+    """
+    if level < 0:
+        raise StochasticError(f"level must be >= 0, got {level}")
+    if level < len(_LEVEL_SIZES):
+        return _LEVEL_SIZES[level]
+    return 2 * rule_size_for_level(level - 1) - 1
+
 
 def gauss_hermite_rule(num_points: int):
     """Nodes and weights of the ``num_points``-point rule.
@@ -36,3 +53,74 @@ def gauss_hermite_rule(num_points: int):
     if num_points % 2 == 1:
         nodes[num_points // 2] = 0.0
     return nodes, weights
+
+
+class NodeTable:
+    """Shared 1-D node identity across the rule hierarchy.
+
+    Coincident nodes of different rules — in practice the exact-zero
+    centre every odd rule shares — must merge to *one* multivariate
+    grid point.  The table assigns every distinct 1-D node value a
+    small integer id, with identity defined by the exact float value
+    (``gauss_hermite_rule`` forces odd-rule centres to exactly 0.0, so
+    the only mathematically coincident nodes compare equal bitwise).
+    Tensor points keyed by id tuples therefore merge exactly: no
+    decimal rounding, no aliasing of close-but-distinct nodes, no
+    splitting of coincident ones.
+    """
+
+    def __init__(self):
+        self._rules = {}
+        self._id_by_value = {}
+        self._values = []
+
+    def node_id(self, value: float) -> int:
+        """Id of a node value, registering it on first sight."""
+        value = float(value)
+        node = self._id_by_value.get(value)
+        if node is None:
+            node = len(self._values)
+            self._id_by_value[value] = node
+            self._values.append(value)
+        return node
+
+    def value(self, node_id: int) -> float:
+        return self._values[node_id]
+
+    def rule(self, level: int):
+        """``(nodes, weights, ids)`` of the rule at a hierarchy level."""
+        cached = self._rules.get(level)
+        if cached is None:
+            nodes, weights = gauss_hermite_rule(rule_size_for_level(level))
+            ids = tuple(self.node_id(x) for x in nodes)
+            cached = (nodes, weights, ids)
+            self._rules[level] = cached
+        return cached
+
+    def tensor_rule(self, levels):
+        """``(keys, weights)`` of the tensor rule of a level multi-index.
+
+        Point keys are tuples of node ids — inactive axes sit on the
+        shared centre node — and weights are the products of the 1-D
+        weights, enumerated in deterministic tensor order.  The one
+        tensor enumeration both the fixed Smolyak construction and the
+        adaptive incremental grids build on, so their point identities
+        can never diverge.
+        """
+        from itertools import product
+        centre = self.rule(0)[2][0]
+        active = [axis for axis, level in enumerate(levels) if level > 0]
+        pools = []
+        for axis in active:
+            _, axis_weights, ids = self.rule(levels[axis])
+            pools.append(list(zip(ids, axis_weights)))
+        keys, weights = [], []
+        for combo in product(*pools):
+            key = [centre] * len(levels)
+            weight = 1.0
+            for axis, (node, node_weight) in zip(active, combo):
+                key[axis] = node
+                weight *= node_weight
+            keys.append(tuple(key))
+            weights.append(weight)
+        return keys, weights

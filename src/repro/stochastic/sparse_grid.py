@@ -11,6 +11,11 @@ reports the quoted formula for comparison (the tests pin both).
 Weights come from the Smolyak combination coefficients; for level 2
 they integrate all polynomials of total degree <= 5 exactly in the
 cross terms needed by a quadratic chaos projection.
+
+Coincident points across combination terms merge *exactly* through the
+shared 1-D :class:`~repro.stochastic.gauss_hermite.NodeTable` (node
+identity by exact value, point identity by node-id tuple), so nodes at
+any level can neither alias nor split — no decimal-rounding key hack.
 """
 
 from __future__ import annotations
@@ -22,12 +27,12 @@ from itertools import combinations
 import numpy as np
 
 from repro.errors import StochasticError
-from repro.stochastic.gauss_hermite import gauss_hermite_rule
-
-#: 1-D rule sizes per Smolyak level.
-_LEVEL_SIZES = (1, 3, 5)
-#: Rounding used to merge coincident points across combination terms.
-_MERGE_DECIMALS = 12
+from repro.stochastic.gauss_hermite import (
+    _LEVEL_SIZES,
+    NodeTable,
+    gauss_hermite_rule,
+    rule_size_for_level,
+)
 
 
 @dataclass
@@ -148,33 +153,17 @@ def smolyak_sparse_grid(dim: int, level: int = 2) -> SparseGrid:
         raise StochasticError(f"dim must be >= 1, got {dim}")
     if level < 0 or level >= len(_LEVEL_SIZES) + 10:
         raise StochasticError(f"unsupported level {level}")
-    rules = [gauss_hermite_rule(_size_for_level(lv))
-             for lv in range(level + 1)]
-
+    table = NodeTable()
     accumulator = {}
     for levels, coeff in _level_multi_indices(dim, level):
-        active = [axis for axis, lv in enumerate(levels) if lv > 0]
-        grids = [rules[levels[axis]] for axis in active]
-        # Tensor only over active axes; inactive axes sit at 0 with
-        # weight 1 (the 1-point rule).
-        if active:
-            meshes = np.meshgrid(*[g[0] for g in grids], indexing="ij")
-            wmeshes = np.meshgrid(*[g[1] for g in grids], indexing="ij")
-            coords = np.stack([m.ravel() for m in meshes], axis=1)
-            weights = np.ones(coords.shape[0])
-            for w in wmeshes:
-                weights = weights * w.ravel()
-        else:
-            coords = np.zeros((1, 0))
-            weights = np.ones(1)
-        for row, weight in zip(coords, weights):
-            point = np.zeros(dim)
-            point[active] = row
-            key = tuple(np.round(point, _MERGE_DECIMALS))
+        keys, weights = table.tensor_rule(levels)
+        for key, weight in zip(keys, weights):
             accumulator[key] = accumulator.get(key, 0.0) + coeff * weight
 
-    points = np.array(sorted(accumulator.keys()))
-    weights = np.array([accumulator[tuple(p)] for p in points])
+    keys = sorted(accumulator,
+                  key=lambda k: tuple(table.value(i) for i in k))
+    points = np.array([[table.value(i) for i in key] for key in keys])
+    weights = np.array([accumulator[key] for key in keys])
     # Drop points whose combined weight cancelled exactly.
     keep = np.abs(weights) > 1e-14
     return SparseGrid(points=points[keep], weights=weights[keep],
@@ -182,9 +171,7 @@ def smolyak_sparse_grid(dim: int, level: int = 2) -> SparseGrid:
 
 
 def _size_for_level(level: int) -> int:
-    if level < len(_LEVEL_SIZES):
-        return _LEVEL_SIZES[level]
-    return 2 * _size_for_level(level - 1) - 1
+    return rule_size_for_level(level)
 
 
 def tensor_grid(dim: int, points_per_axis: int = 3) -> SparseGrid:

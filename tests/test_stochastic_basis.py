@@ -147,6 +147,64 @@ class TestSparseGrid:
         with pytest.raises(StochasticError):
             paper_point_count(0)
 
+    def test_rebuilds_are_bitwise_identical(self):
+        """Exact node-table merging is deterministic: same points and
+        weights bit for bit, no rounding-sensitive dict keys."""
+        for level in (1, 2, 3):
+            a = smolyak_sparse_grid(3, level=level)
+            b = smolyak_sparse_grid(3, level=level)
+            np.testing.assert_array_equal(a.points, b.points)
+            np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_nodes_are_exact_rule_values(self):
+        """Grid coordinates are the exact 1-D Gauss-Hermite nodes —
+        the rounded-key merge artifact is gone."""
+        grid = smolyak_sparse_grid(2, level=2)
+        values = set()
+        for level in range(3):
+            values.update(gauss_hermite_rule((1, 3, 5)[level])[0])
+        for coordinate in grid.points.ravel():
+            assert coordinate in values
+
+
+class TestSparseGridExactness:
+    """Pin the hierarchy the adaptive engine refines over: the
+    level-``L`` grid integrates every monomial of total degree
+    ``<= 2 L + 1`` exactly, and its weights always sum to 1."""
+
+    #: Standard-normal moments E[z^k] for k = 0..9.
+    MOMENTS = (1.0, 0.0, 1.0, 0.0, 3.0, 0.0, 15.0, 0.0, 105.0, 0.0)
+
+    @staticmethod
+    def _monomials(dim, degree):
+        from itertools import product as iproduct
+        for powers in iproduct(range(degree + 1), repeat=dim):
+            if sum(powers) <= degree:
+                yield powers
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_total_degree_exactness(self, dim, level):
+        grid = smolyak_sparse_grid(dim, level=level)
+        degree = 2 * level + 1
+        for powers in self._monomials(dim, degree):
+            expected = 1.0
+            for power in powers:
+                expected *= self.MOMENTS[power]
+            value = grid.weights.copy()
+            for axis, power in enumerate(powers):
+                if power:
+                    value = value * grid.points[:, axis] ** power
+            assert float(value.sum()) == pytest.approx(
+                expected, abs=5e-11), \
+                f"monomial {powers} at level {level}"
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_weights_sum_to_one(self, level):
+        for dim in (1, 2, 4):
+            grid = smolyak_sparse_grid(dim, level=level)
+            assert grid.weights.sum() == pytest.approx(1.0, abs=1e-12)
+
 
 class TestTensorGrid:
     def test_count(self):
