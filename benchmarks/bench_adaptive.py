@@ -51,6 +51,7 @@ def _compare(problem, **analysis_kwargs):
     t_adaptive = time.perf_counter() - start
     scale = np.maximum(np.abs(fixed.mean), 1e-30)
     sscale = np.maximum(np.abs(fixed.std), 1e-30)
+    metadata = adaptive.refinement_metadata()
     return {
         "dim": int(fixed.dim),
         "solves_fixed": int(fixed.num_runs),
@@ -62,8 +63,12 @@ def _compare(problem, **analysis_kwargs):
             np.abs(adaptive.mean - fixed.mean) / scale)),
         "std_rel_err": float(np.max(
             np.abs(adaptive.std - fixed.std) / sscale)),
-        "termination":
-            adaptive.refinement_metadata()["termination"],
+        "termination": metadata["termination"],
+        # Grid efficiency: points that were solved but cancelled out
+        # of the final combined rule (ROADMAP "level-2 weight
+        # cancellation") — tracked across PRs via the BENCH JSON.
+        "grid_points": metadata["grid_points"],
+        "zero_weight_points": metadata["zero_weight_points"],
     }
 
 
@@ -155,6 +160,7 @@ def test_adaptive_beats_level2_on_anisotropic(profile, output_dir):
                                AdaptiveConfig(tol=1e-4, max_level=2))
     t_synthetic = time.perf_counter() - start
     fixed_count = smolyak_sparse_grid(d).num_points
+    synthetic_meta = result.refinement_metadata()
     synthetic = {
         "dim": d,
         "solves_fixed": int(fixed_count),
@@ -166,6 +172,8 @@ def test_adaptive_beats_level2_on_anisotropic(profile, output_dir):
         "std_rel_err": float(abs(result.std[0] - exact_std)
                              / exact_std),
         "termination": result.termination,
+        "grid_points": synthetic_meta["grid_points"],
+        "zero_weight_points": synthetic_meta["zero_weight_points"],
     }
 
     rows = [

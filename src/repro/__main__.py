@@ -137,7 +137,11 @@ def _overlay_adaptive(spec, args):
 
     Flags overlay (and win over) whatever adaptive block the request
     file carries, producing a new spec — and hence a new cache key, so
-    adaptive and fixed builds of the same problem never alias.
+    adaptive and fixed builds of the same problem never alias.  The
+    exception is ``--workers``: it lands in the adaptive block like
+    the others (and implies ``--adaptive``) but is an execution knob
+    the cache key deliberately ignores — the same surrogate is built
+    bit for bit on any core count.
     """
     from repro.serving.spec import ProblemSpec
     overrides = {}
@@ -147,6 +151,8 @@ def _overlay_adaptive(spec, args):
         overrides["max_solves"] = args.max_solves
     if args.max_level is not None:
         overrides["max_level"] = args.max_level
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     if not args.adaptive and not overrides:
         return spec
     adaptive = dict(spec.reduction.get("adaptive") or {})
@@ -172,7 +178,8 @@ def cmd_build(args) -> int:
     store = open_store(args.store)
     reports = []
     for spec in specs:
-        report = ensure_surrogate(spec, store, rebuild=args.rebuild)
+        report = ensure_surrogate(spec, store, rebuild=args.rebuild,
+                                  warm_start=not args.no_warm_start)
         entry = {
             "cache_key": report.cache_key,
             "preset": spec.preset,
@@ -188,6 +195,7 @@ def cmd_build(args) -> int:
             entry["termination"] = refinement.get("termination")
             entry["error_estimate"] = refinement.get("error_estimate")
             entry["num_indices"] = len(refinement.get("indices") or [])
+            entry["warm_start_source"] = report.warm_start_source
         reports.append(entry)
     _emit_json({"store": str(store.root), "builds": reports})
     return 0
@@ -241,7 +249,9 @@ def main(argv=None) -> int:
                          help="surrogate store directory "
                               "(default ~/.cache/repro/surrogates)")
     p_build.add_argument("--rebuild", action="store_true",
-                         help="rebuild even on a cache hit")
+                         help="rebuild even on a cache hit; implies a "
+                              "cold build (stored results are not "
+                              "trusted, so none may seed it)")
     p_build.add_argument("--adaptive", action="store_true",
                          help="collocate with the dimension-adaptive "
                               "engine instead of the fixed level-2 grid")
@@ -254,6 +264,15 @@ def main(argv=None) -> int:
     p_build.add_argument("--max-level", type=int, default=None,
                          help="adaptive: cap on the total refinement "
                               "level of any index (implies --adaptive)")
+    p_build.add_argument("--workers", type=int, default=None,
+                         help="adaptive: evaluate each refinement "
+                              "wave on N worker processes (implies "
+                              "--adaptive; bitwise-identical result, "
+                              "never part of the cache key)")
+    p_build.add_argument("--no-warm-start", action="store_true",
+                         help="adaptive: refine from the root index "
+                              "even when a stored sibling surrogate "
+                              "could seed the build")
     p_build.set_defaults(func=cmd_build)
 
     p_query = sub.add_parser(

@@ -28,6 +28,7 @@ from repro.adaptive.surplus import (
 from repro.adaptive.driver import (
     AdaptiveConfig,
     AdaptiveResult,
+    WarmStart,
     run_adaptive_sscm,
 )
 
@@ -42,5 +43,6 @@ __all__ = [
     "tensor_quadrature",
     "AdaptiveConfig",
     "AdaptiveResult",
+    "WarmStart",
     "run_adaptive_sscm",
 ]

@@ -7,10 +7,23 @@ refining the direction with the largest surplus indicator, until the
 global error estimate drops under ``tol`` or the solve budget runs
 out.  Each accepted index opens a *wave* of admissible neighbors; the
 wave's new collocation points are collected and handed to the
-``solve_many`` hook in a single call when one is supplied (a parallel
-map slots in there — see ROADMAP), falling back to a per-point loop in
-which every solve still rides the multi-port/factorization-reuse
-paths inside ``evaluate_sample``.
+``solve_many`` hook in a single call when one is supplied (the
+``workers`` stopping-control fans exactly that call over the
+``analysis.parallel`` process pool — see
+:class:`~repro.analysis.parallel.ParallelWaveEvaluator`), falling back
+to a per-point loop in which every solve still rides the
+multi-port/factorization-reuse paths inside ``evaluate_sample``.
+
+A build can also be *warm-started* from a previous one: a
+:class:`WarmStart` (typically recovered from a stored refinement
+sidecar by :meth:`WarmStart.from_refinement`) seeds the multi-index
+set with the source build's accepted indices instead of the bare root
+index.  The seeded indices are evaluated in one batched wave, their
+surpluses are compared against the source build's recorded indicators,
+and when the measured *drift* keeps the transferred frontier error
+under ``tol`` the build certifies immediately — no frontier
+exploration at all.  See ``docs/ADAPTIVE.md`` for the exact semantics
+and the honesty caveats of that certification.
 
 Known limitation (inherent to the Gerstner-Griebel indicator): a
 direction whose *every* effect is purely interactive — exactly zero
@@ -36,6 +49,7 @@ from repro.stochastic.sparse_grid import SparseGrid
 from repro.adaptive.grid import IncrementalGrid
 from repro.adaptive.indices import MultiIndexSet
 from repro.adaptive.indices import combination_coefficients
+from repro.adaptive.indices import is_downward_closed
 from repro.adaptive.surplus import (
     difference_quadrature,
     integral_scale,
@@ -46,28 +60,43 @@ from repro.stochastic.gauss_hermite import rule_size_for_level
 
 @dataclass(frozen=True)
 class AdaptiveConfig:
-    """Stopping controls of the adaptive refinement loop.
+    """Stopping and execution controls of the adaptive refinement loop.
+
+    The first three fields are the *identity* of the build: two builds
+    with the same ``tol``/``max_solves``/``max_level`` produce the same
+    surrogate — bitwise for cold builds, within ``tol`` when one of
+    them was warm-certified from a seed — and therefore share a cache
+    key.  ``workers`` is pure
+    execution policy — it changes wall time, never a single bit of the
+    result — and is deliberately excluded from :meth:`to_dict`'s
+    default (cache-key) form.
 
     Parameters
     ----------
-    tol:
+    tol : float, default 1e-4
         Relative tolerance on the global error estimate (the sum of
         active surplus indicators, each normalized by the running
         integral magnitude).  0 refines until the budget or the level
         cap exhausts the admissible indices.
-    max_solves:
+    max_solves : int or None, default None
         Hard cap on deterministic solver evaluations (collocation
         points); ``None`` means unbounded.  Waves that would overshoot
         the cap are skipped, never truncated mid-tensor.
-    max_level:
+    max_level : int or None, default None
         Cap on the *total* level ``|l|`` of any accepted index
         (``max_level=2`` confines refinement to subsets of the fixed
         level-2 Smolyak simplex); ``None`` means uncapped.
+    workers : int or None, default None
+        Fan each refinement wave's never-seen collocation points over
+        this many worker processes (``None`` or 1 keeps the serial
+        path).  Results are bitwise-identical regardless of the value;
+        it never enters a spec cache key.
     """
 
     tol: float = 1e-4
     max_solves: int = None
     max_level: int = None
+    workers: int = None
 
     def __post_init__(self) -> None:
         tol = self.tol
@@ -75,7 +104,7 @@ class AdaptiveConfig:
                 or tol < 0:
             raise StochasticError(
                 f"tol must be a finite non-negative number, got {tol!r}")
-        for name in ("max_solves", "max_level"):
+        for name in ("max_solves", "max_level", "workers"):
             value = getattr(self, name)
             if value is None:
                 continue
@@ -86,27 +115,60 @@ class AdaptiveConfig:
                     f"got {value!r}")
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
-        """Fully-resolved wire form (participates in spec cache keys)."""
-        return {"tol": float(self.tol),
+    def to_dict(self, include_workers: bool = False) -> dict:
+        """Fully-resolved wire form.
+
+        Parameters
+        ----------
+        include_workers : bool, default False
+            The default (identity) form participates in spec cache
+            keys and therefore omits ``workers`` — the same surrogate
+            is built regardless of core count.  Pass ``True`` for the
+            execution form that round-trips the knob (what
+            :meth:`~repro.serving.spec.ProblemSpec.resolved_reduction`
+            carries to the build).
+
+        Returns
+        -------
+        dict
+            JSON-scalar mapping accepted back by :meth:`from_dict`.
+        """
+        data = {"tol": float(self.tol),
                 "max_solves": self.max_solves,
                 "max_level": self.max_level}
+        if include_workers:
+            data["workers"] = self.workers
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "AdaptiveConfig":
+        """Build a config from its (possibly sparse) dict form.
+
+        Parameters
+        ----------
+        data : dict or AdaptiveConfig
+            Any subset of ``tol``/``max_solves``/``max_level``/
+            ``workers``; missing names take the defaults, int-valued
+            floats are normalized.  A live config passes through.
+
+        Returns
+        -------
+        AdaptiveConfig
+        """
         if isinstance(data, AdaptiveConfig):
             return data
         if not isinstance(data, dict):
             raise StochasticError(
                 f"adaptive config must be a mapping, "
                 f"got {type(data).__name__}")
-        unknown = set(data) - {"tol", "max_solves", "max_level"}
+        unknown = set(data) - {"tol", "max_solves", "max_level",
+                               "workers"}
         if unknown:
             raise StochasticError(
                 f"unknown adaptive settings {sorted(unknown)}; "
-                f"valid: ['max_level', 'max_solves', 'tol']")
+                f"valid: ['max_level', 'max_solves', 'tol', 'workers']")
         kwargs = {}
-        for name in ("tol", "max_solves", "max_level"):
+        for name in ("tol", "max_solves", "max_level", "workers"):
             if name in data and data[name] is not None:
                 value = data[name]
                 if name != "tol" and isinstance(value, float) \
@@ -116,6 +178,91 @@ class AdaptiveConfig:
             elif name in data:
                 kwargs[name] = None
         return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """Seed for a refinement run, recovered from a previous build.
+
+    Parameters
+    ----------
+    indices : tuple of tuple of int
+        The source build's *accepted* (old) multi-indices, including
+        the root.  They seed the new build's index set wholesale, so
+        refinement starts from the source's explored interior instead
+        of the bare root index.
+    frontier_error : float
+        The source build's final error estimate — the sum of its
+        active frontier indicators, i.e. what certified its tolerance.
+        Transferred to the new build scaled by the measured indicator
+        drift; ``inf`` disables certification (the frontier is then
+        re-explored and re-measured from scratch).
+    indicators : dict
+        ``{accepted index: indicator at acceptance}`` from the source
+        build's trace.  The ratio of freshly measured indicators to
+        these stored ones is the *drift* used to rescale
+        ``frontier_error``.
+    source : str, optional
+        Provenance label (the source surrogate's cache key); recorded
+        as ``warm_start_source`` in the refinement sidecar.
+    """
+
+    indices: tuple
+    frontier_error: float
+    indicators: dict = field(default_factory=dict)
+    source: str = None
+
+    @classmethod
+    def from_refinement(cls, refinement: dict,
+                        source: str = None) -> "WarmStart":
+        """Recover a seed from a stored refinement sidecar.
+
+        Parameters
+        ----------
+        refinement : dict
+            A :meth:`AdaptiveResult.refinement_metadata` mapping (as
+            persisted under ``refinement`` in the surrogate store).
+            Older sidecars without the ``accepted`` field fall back to
+            the trace, which records every accepted index in order.
+        source : str, optional
+            Provenance label, typically the stored entry's cache key.
+
+        Returns
+        -------
+        WarmStart
+        """
+        if not isinstance(refinement, dict):
+            raise StochasticError(
+                f"refinement metadata must be a mapping, "
+                f"got {type(refinement).__name__}")
+        trace = refinement.get("trace") or []
+        accepted = refinement.get("accepted")
+        if accepted is None:
+            accepted = [entry["index"] for entry in trace]
+        indices = tuple(sorted({tuple(int(lv) for lv in index)
+                                for index in accepted}))
+        if not indices:
+            raise StochasticError(
+                "refinement metadata carries no accepted indices to "
+                "warm-start from")
+        # Prefer the final-scale accepted indicators (present since
+        # they were introduced, and carried even by warm-certified
+        # builds whose trace is empty); fall back to the acceptance
+        # trace for older sidecars.
+        pairs = refinement.get("accepted_indicators")
+        if pairs:
+            indicators = {tuple(int(lv) for lv in index):
+                          float(indicator)
+                          for index, indicator in pairs}
+        else:
+            indicators = {tuple(int(lv) for lv in entry["index"]):
+                          float(entry["indicator"])
+                          for entry in trace}
+        error = refinement.get("error_estimate")
+        frontier_error = float(error) if error is not None \
+            else float("inf")
+        return cls(indices=indices, frontier_error=frontier_error,
+                   indicators=indicators, source=source)
 
 
 @dataclass
@@ -137,6 +284,9 @@ class AdaptiveResult:
     trace: list = field(default_factory=list)
     error_estimate: float = 0.0
     termination: str = "tol"
+    accepted: list = field(default_factory=list)
+    accepted_indicators: list = field(default_factory=list)
+    warm: dict = None
 
     @property
     def mean(self) -> np.ndarray:
@@ -153,17 +303,44 @@ class AdaptiveResult:
     @property
     def converged(self) -> bool:
         """Did the error estimate actually reach the tolerance?"""
-        return self.termination in ("tol", "exhausted")
+        return self.termination in ("tol", "exhausted", "warm")
 
     def refinement_metadata(self) -> dict:
-        """JSON-serializable provenance for the surrogate store."""
+        """JSON-serializable provenance for the surrogate store.
+
+        Returns
+        -------
+        dict
+            The stopping config (identity form — independent of the
+            worker count), the full and accepted index sets, the
+            per-acceptance trace, the error estimate and termination
+            reason, the solve count, the combined-quadrature grid size
+            with its zero-weight point count (grid-efficiency
+            bookkeeping: points that were solved but cancelled out of
+            the final rule), and the warm-start provenance
+            (``warm_start_source`` is the source build's cache key
+            when a warm start actually seeded this build, else
+            ``None``).
+        """
+        weights = np.asarray(self.grid.weights)
+        warm = dict(self.warm) if self.warm else None
         return {
             "config": self.config.to_dict(),
             "indices": [list(index) for index in self.indices],
+            "accepted": [list(index) for index in self.accepted],
+            "accepted_indicators": [
+                [list(index), float(indicator)]
+                for index, indicator in self.accepted_indicators],
             "trace": list(self.trace),
             "error_estimate": float(self.error_estimate),
             "termination": self.termination,
             "num_solves": int(self.num_runs),
+            "grid_points": int(weights.size),
+            "zero_weight_points": int(np.count_nonzero(weights == 0.0)),
+            "warm_start": warm,
+            "warm_start_source": (warm.get("source")
+                                  if warm and warm.get("used")
+                                  else None),
         }
 
 
@@ -199,9 +376,80 @@ def combination_projection(grid: IncrementalGrid, values: np.ndarray,
     return coefficients
 
 
+def _warm_seeds(warm_start: WarmStart, dim: int,
+                config: AdaptiveConfig, grid: IncrementalGrid):
+    """Validate a warm-start seed against this build's configuration.
+
+    Returns ``(seeds, None)`` — the non-root accepted indices, level
+    sorted — or ``(None, reason)`` when the seed cannot be applied and
+    the build must fall back to a cold start: dimension mismatch, a
+    non-downward-closed stored set, or a seed whose (conservatively
+    estimated) point cost would blow the solve budget.
+    """
+    root = (0,) * dim
+    seeds = set()
+    for index in warm_start.indices:
+        index = tuple(int(lv) for lv in index)
+        if len(index) != dim or any(lv < 0 for lv in index):
+            return None, (f"stored index {index} does not fit "
+                          f"dim {dim}")
+        if index == root:
+            continue
+        if config.max_level is not None \
+                and sum(index) > config.max_level:
+            # The level cap keeps downward closure: dropping every
+            # index above a total level never orphans a survivor.
+            continue
+        seeds.add(index)
+    seeds = sorted(seeds, key=lambda ix: (sum(ix), ix))
+    if not seeds:
+        # Root-only source (it certified at its first frontier), or
+        # the level cap filtered everything: nothing to seed, and a
+        # "warm" build would cost exactly a cold one — report it as
+        # unused rather than attribute nonexistent savings.
+        return None, ("source accepted only the root index (or the "
+                      "level cap filtered every seed)")
+    if not is_downward_closed([root] + seeds):
+        return None, "stored accepted set is not downward-closed"
+    if config.max_solves is not None:
+        planned = grid.num_points
+        for index in seeds:
+            planned += grid.new_points(index).shape[0]
+        # Conservative: per-index costs are counted before any seed is
+        # registered, so shared points are double-counted.  A false
+        # negative only means a cold start that respects the budget.
+        if planned > config.max_solves:
+            return None, (f"seed set needs ~{planned} solves, over "
+                          f"max_solves={config.max_solves}")
+    return seeds, None
+
+
+def _warm_drift(warm_start: WarmStart, seeds, surpluses,
+                scale) -> float:
+    """Measured-vs-stored indicator ratio over the seeded indices.
+
+    Sums (rather than averages ratios) so large indicators dominate
+    and near-zero stored indicators cannot blow the estimate up.
+    Returns ``None`` when no seeded index has a positive stored
+    indicator — certification is then impossible.
+    """
+    stored_sum = 0.0
+    measured_sum = 0.0
+    for index in seeds:
+        stored = warm_start.indicators.get(index)
+        if stored is None:
+            continue
+        stored_sum += stored
+        measured_sum += surplus_indicator(surpluses[index], scale)
+    if stored_sum <= 0.0:
+        return None
+    return measured_sum / stored_sum
+
+
 def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
                       output_names=None, order: int = 2,
-                      solve_many=None, progress=None) -> AdaptiveResult:
+                      solve_many=None, progress=None,
+                      warm_start: WarmStart = None) -> AdaptiveResult:
     """Build the quadratic chaos by dimension-adaptive collocation.
 
     Parameters
@@ -212,6 +460,10 @@ def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
         Number of reduced variables.
     config:
         Stopping controls; defaults to :class:`AdaptiveConfig`.
+        ``config.workers`` is *not* acted on here — pass a parallel
+        ``solve_many`` (e.g. a
+        :class:`~repro.analysis.parallel.ParallelWaveEvaluator`) to
+        actually fan waves out; the runner wires the two together.
     output_names:
         QoI component labels.
     order:
@@ -223,6 +475,16 @@ def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
     progress:
         Optional callable ``(solves_done, max_solves or -1)`` invoked
         after every evaluated wave.
+    warm_start:
+        Optional :class:`WarmStart` seeding the index set with a
+        previous build's accepted indices.  When the seeded surpluses
+        drift little enough that the transferred frontier error stays
+        under ``tol``, the build certifies immediately
+        (``termination == "warm"``) at strictly fewer solves than any
+        cold build that must evaluate its frontier; otherwise the
+        frontier is re-opened and refinement continues normally.  An
+        inapplicable seed (wrong dimension, budget overflow) degrades
+        to a cold start and is recorded as such in the metadata.
     """
     if dim < 1:
         raise StochasticError(f"dim must be >= 1, got {dim}")
@@ -272,8 +534,6 @@ def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
     watched = augmented(values)
     estimate = difference_quadrature(grid, watched, root)
     surpluses = {root: estimate}
-    index_set.activate(root, surplus_indicator(
-        estimate, integral_scale(estimate)))
 
     def rescale_active() -> None:
         # Re-normalize every active indicator against the *current*
@@ -285,22 +545,15 @@ def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
             index_set.active[active_index] = surplus_indicator(
                 surpluses[active_index], scale)
 
-    termination = None
-    step = 0
-    while index_set.active:
-        rescale_active()
-        if index_set.error_estimate() <= config.tol and index_set.old:
-            termination = "tol"
-            break
-        index, indicator = index_set.accept_best()
-        step += 1
-
-        # One wave: every admissible neighbor of the accepted index
-        # under the level cap and the solve budget, evaluated in a
-        # single batched call.
+    def expand_wave(candidates) -> bool:
+        # One wave: every admissible candidate under the level cap and
+        # the solve budget, evaluated in a single batched call (the
+        # parallel seam), its surpluses activated one by one.  Returns
+        # whether the budget clipped the wave.
+        nonlocal values, watched, estimate
         wave, budget_hit = [], False
         planned = grid.num_points
-        for candidate in index_set.candidates(index):
+        for candidate in candidates:
             if config.max_level is not None \
                     and sum(candidate) > config.max_level:
                 continue
@@ -323,6 +576,80 @@ def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
             index_set.activate(candidate,
                                surplus_indicator(
                                    surplus, integral_scale(estimate)))
+        return budget_hit
+
+    termination = None
+    warm_error = 0.0
+    warm_info = None
+    seeds = None
+    if warm_start is not None:
+        seeds, reason = _warm_seeds(warm_start, dim, config, grid)
+        if seeds is None:
+            warm_info = {"source": warm_start.source, "used": False,
+                         "reason": reason}
+
+    if seeds is not None:
+        # Warm start: adopt the source build's accepted set wholesale.
+        # All never-seen points of the seeded indices go out in ONE
+        # batched wave (the parallel path digests it whole), then the
+        # surpluses are re-measured on *this* problem in level order.
+        index_set.old.add(root)
+        new_blocks = [grid.register(index) for index in seeds]
+        new_blocks = [block for block in new_blocks if block.shape[0]]
+        if new_blocks:
+            evaluate_wave(np.vstack(new_blocks))
+            values = np.vstack(values_rows)
+            watched = augmented(values)
+        for index in seeds:
+            surplus = difference_quadrature(grid, watched, index)
+            estimate = estimate + surplus
+            surpluses[index] = surplus
+            index_set.old.add(index)
+        drift = _warm_drift(warm_start, seeds, surpluses,
+                            integral_scale(estimate))
+        certified = (drift is not None and config.tol > 0
+                     and np.isfinite(warm_start.frontier_error)
+                     and warm_start.frontier_error * drift
+                     <= config.tol)
+        warm_info = {"source": warm_start.source, "used": True,
+                     "seeded_indices": len(seeds) + 1,
+                     "drift": None if drift is None else float(drift),
+                     "certified": bool(certified)}
+        if certified:
+            # The source frontier certified its own tolerance and the
+            # seeded interior only moved by `drift`: the transferred
+            # frontier error still clears tol, so the frontier is not
+            # re-evaluated at all — that skipped evaluation is the
+            # entire warm-start saving.
+            termination = "warm"
+            warm_error = warm_start.frontier_error * drift
+        else:
+            # Drift too large (or unmeasurable): re-open the frontier
+            # around the seeded interior and drop back into the
+            # standard refinement loop below.
+            admissible = sorted(
+                {forward for member in index_set.old
+                 for forward in index_set.forward_neighbors(member)
+                 if index_set.is_admissible(forward)})
+            if expand_wave(admissible):
+                rescale_active()
+                termination = ("tol"
+                               if index_set.error_estimate()
+                               <= config.tol
+                               else "max_solves")
+    else:
+        index_set.activate(root, surplus_indicator(
+            estimate, integral_scale(estimate)))
+
+    step = 0
+    while termination is None and index_set.active:
+        rescale_active()
+        if index_set.error_estimate() <= config.tol and index_set.old:
+            termination = "tol"
+            break
+        index, indicator = index_set.accept_best()
+        step += 1
+        budget_hit = expand_wave(index_set.candidates(index))
         trace.append({
             "step": step,
             "index": list(index),
@@ -353,8 +680,17 @@ def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
                                               basis),
                        output_names=output_names)
     wall = time.perf_counter() - start
+    final_error = (warm_error if termination == "warm"
+                   else index_set.error_estimate())
+    final_scale = integral_scale(estimate)
+    accepted = sorted(index_set.old)
     return AdaptiveResult(
         pce=pce, num_runs=int(grid.num_points), wall_time=wall,
         grid=final_grid, config=config, indices=indices, trace=trace,
-        error_estimate=float(index_set.error_estimate()),
-        termination=termination)
+        error_estimate=float(final_error),
+        termination=termination,
+        accepted=accepted,
+        accepted_indicators=[
+            (index, surplus_indicator(surpluses[index], final_scale))
+            for index in accepted],
+        warm=warm_info)

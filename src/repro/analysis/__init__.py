@@ -24,7 +24,11 @@ from repro.analysis.runner import (
 )
 from repro.analysis.results import ComparisonTable
 from repro.analysis.speedup import SpeedupReport
-from repro.analysis.parallel import run_mc_parallel, run_sscm_parallel
+from repro.analysis.parallel import (
+    ParallelWaveEvaluator,
+    run_mc_parallel,
+    run_sscm_parallel,
+)
 
 __all__ = [
     "VariationalProblem",
@@ -40,6 +44,7 @@ __all__ = [
     "run_mc_analysis",
     "ComparisonTable",
     "SpeedupReport",
+    "ParallelWaveEvaluator",
     "run_mc_parallel",
     "run_sscm_parallel",
 ]

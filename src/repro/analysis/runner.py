@@ -14,12 +14,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.adaptive.driver import AdaptiveConfig, run_adaptive_sscm
+from repro.adaptive.driver import (
+    AdaptiveConfig,
+    WarmStart,
+    run_adaptive_sscm,
+)
 from repro.errors import StochasticError
 from repro.stochastic.montecarlo import MonteCarloResult, run_monte_carlo
 from repro.stochastic.reduction import ReducedSpace, reduce_groups
 from repro.stochastic.sscm import SSCMResult, run_sscm
 from repro.variation.random_field import stable_cholesky
+from repro.analysis.parallel import ParallelWaveEvaluator
 from repro.analysis.problem import VariationalProblem
 from repro.analysis.weights import nominal_weights
 
@@ -84,6 +89,8 @@ def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
                       level: int = 2, fit: str = "quadrature",
                       nominal_solution=None,
                       refinement: AdaptiveConfig = None,
+                      problem_builder=None,
+                      warm_start: WarmStart = None,
                       progress=None) -> AnalysisResult:
     """Full SSCM pipeline (paper Sections II.B + III.C).
 
@@ -100,13 +107,68 @@ def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
        collocation point still rides the multi-port
        factorization-reuse solve paths inside ``evaluate_sample``.
     4. Fit the quadratic Hermite chaos and read off mean / std.
+
+    Parameters
+    ----------
+    problem : VariationalProblem
+        The stochastic experiment to collocate.
+    method : {"wpfa", "pfa"}, default "wpfa"
+        Per-group reduction; ``"wpfa"`` weights the covariance with
+        the nominal solution (one extra solve).
+    energy : float, default 0.95
+        Variance fraction retained per perturbation group.
+    max_variables_by_group : dict, optional
+        ``{group name: p}`` hard caps on the reduced counts.
+    level : int, default 2
+        Fixed Smolyak level (ignored under ``refinement``).
+    fit : {"quadrature", "regression"}, default "quadrature"
+        Chaos-fit strategy of the fixed-grid path; must stay
+        ``"quadrature"`` under ``refinement``.
+    nominal_solution : ACSolution, optional
+        Reuse an existing nominal solve for the wPFA weights.
+    refinement : AdaptiveConfig or dict, optional
+        Switches collocation to the dimension-adaptive engine.  Its
+        ``workers`` field fans each refinement wave over a
+        :class:`~repro.analysis.parallel.ParallelWaveEvaluator`
+        process pool (bitwise-identical results, ~cores less wall
+        time); that requires ``problem_builder``.
+    problem_builder : callable, optional
+        Zero-argument *picklable* callable rebuilding ``problem`` in
+        worker processes (e.g. ``functools.partial`` over a preset, or
+        ``spec.build_problem``).  Only consulted when
+        ``refinement.workers > 1``.
+    warm_start : WarmStart, optional
+        Seed the adaptive build from a previous build's accepted index
+        set (see :class:`~repro.adaptive.driver.WarmStart`); requires
+        ``refinement``.  The serving layer wires this automatically
+        from the surrogate store's nearest stored sibling spec.
+    progress : callable, optional
+        ``(completed, total)`` callback for the collocation loop.
+
+    Returns
+    -------
+    AnalysisResult
+        The fitted surrogate plus reduction (and, for adaptive builds,
+        refinement) bookkeeping.
     """
+    if isinstance(refinement, dict):
+        refinement = AdaptiveConfig.from_dict(refinement)
     if refinement is not None and fit != "quadrature":
         # The adaptive engine fits by combination projection; a
         # regression request would be silently overridden.
         raise StochasticError(
             f"fit={fit!r} is incompatible with adaptive "
             f"refinement (which owns its projection)")
+    if warm_start is not None and refinement is None:
+        raise StochasticError(
+            "warm_start only applies to adaptive builds; pass a "
+            "refinement config")
+    if refinement is not None and refinement.workers is not None \
+            and refinement.workers > 1 and problem_builder is None:
+        raise StochasticError(
+            "refinement.workers > 1 needs a picklable problem_builder "
+            "so worker processes can rebuild the problem (e.g. "
+            "functools.partial over a preset, or spec.build_problem)")
     weights = None
     if method == "wpfa":
         weights = nominal_weights(problem, solution=nominal_solution)
@@ -119,12 +181,21 @@ def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
         return problem.evaluate_sample(xi_by_group)
 
     if refinement is not None:
-        if isinstance(refinement, dict):
-            refinement = AdaptiveConfig.from_dict(refinement)
-        sscm = run_adaptive_sscm(solve_fn, reduced_space.dim,
-                                 config=refinement,
-                                 output_names=problem.qoi_names,
-                                 progress=progress)
+        evaluator = None
+        if refinement.workers is not None and refinement.workers > 1:
+            evaluator = ParallelWaveEvaluator(
+                problem_builder, reduced_space,
+                num_workers=refinement.workers)
+        try:
+            sscm = run_adaptive_sscm(solve_fn, reduced_space.dim,
+                                     config=refinement,
+                                     output_names=problem.qoi_names,
+                                     solve_many=evaluator,
+                                     warm_start=warm_start,
+                                     progress=progress)
+        finally:
+            if evaluator is not None:
+                evaluator.close()
     else:
         sscm = run_sscm(solve_fn, reduced_space.dim,
                         output_names=problem.qoi_names, level=level,

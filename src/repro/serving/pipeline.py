@@ -15,8 +15,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.adaptive.driver import WarmStart
 from repro.analysis.runner import run_sscm_analysis
-from repro.errors import StoreCorruptionError, StoreSchemaError
+from repro.errors import (
+    StochasticError,
+    StoreCorruptionError,
+    StoreSchemaError,
+)
 from repro.serving.spec import ProblemSpec
 from repro.serving.store import SurrogateRecord, SurrogateStore
 
@@ -27,6 +32,9 @@ class BuildReport:
 
     ``num_solves`` counts deterministic coupled solves actually run in
     this call: 0 on a cache hit, nominal + collocation on a build.
+    ``warm_start_source`` is the cache key of the stored sibling
+    surrogate that seeded an adaptive build, or ``None`` (cache hit,
+    fixed-grid build, no usable sibling, or warm starts disabled).
     """
 
     record: SurrogateRecord
@@ -34,22 +42,73 @@ class BuildReport:
     num_solves: int
     wall_time: float
     replaced_damaged: bool = False
+    warm_start_source: str = None
 
     @property
     def cache_key(self) -> str:
         return self.record.cache_key
 
 
-def build_surrogate(spec: ProblemSpec, progress=None) -> SurrogateRecord:
+def _warm_start_for(spec: ProblemSpec, store: SurrogateStore):
+    """Seed an adaptive build of ``spec`` from its nearest stored
+    sibling, or ``None`` when no usable one exists.  Never raises: a
+    malformed stored sidecar simply means a cold build."""
+    found = store.find_warm_start(spec)
+    if found is None:
+        return None
+    source, sidecar = found
+    try:
+        return WarmStart.from_refinement(sidecar["refinement"],
+                                         source=source)
+    except (StochasticError, KeyError, TypeError, ValueError):
+        # The store's integrity gate only hashes the sidecar's spec,
+        # so an edited refinement block can still reach this point in
+        # any malformed shape — all of it means "no usable seed".
+        return None
+
+
+def build_surrogate(spec: ProblemSpec, progress=None,
+                    store: SurrogateStore = None,
+                    warm_start: bool = True) -> SurrogateRecord:
     """Run the SSCM pipeline for a spec and wrap the result.
 
     One nominal solve (wPFA weights) plus one deterministic solve per
-    sparse-grid point; each point reuses PR 1's batched factorization
-    paths through the problem's ``evaluate_sample``.
+    collocation point; each point reuses PR 1's batched factorization
+    paths through the problem's ``evaluate_sample``.  Adaptive builds
+    additionally get the spec's ``workers`` fan-out (the spec itself is
+    the picklable problem builder handed to the worker pool) and — when
+    a ``store`` is supplied — a warm start from the nearest stored
+    sibling spec.
+
+    Parameters
+    ----------
+    spec : ProblemSpec
+        The surrogate identity to build.
+    progress : callable, optional
+        ``(completed, total)`` collocation callback.
+    store : SurrogateStore, optional
+        Consulted (read-only) for a warm-start seed; nothing is
+        persisted here.
+    warm_start : bool, default True
+        Allow seeding from a stored sibling; ``False`` forces a cold
+        build even when ``store`` is given.
+
+    Returns
+    -------
+    SurrogateRecord
+        The fitted surrogate with full provenance (including
+        ``warm_start_source`` inside the refinement sidecar when a
+        seed was used).
     """
     problem = spec.build_problem()
+    kwargs = spec.analysis_kwargs()
+    seed = None
+    if warm_start and store is not None \
+            and kwargs["refinement"] is not None:
+        seed = _warm_start_for(spec, store)
     analysis = run_sscm_analysis(problem, progress=progress,
-                                 **spec.analysis_kwargs())
+                                 problem_builder=spec.build_problem,
+                                 warm_start=seed, **kwargs)
     return SurrogateRecord(
         pce=analysis.sscm.pce,
         spec=spec,
@@ -63,21 +122,34 @@ def build_surrogate(spec: ProblemSpec, progress=None) -> SurrogateRecord:
 
 
 def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
-                     rebuild: bool = False,
+                     rebuild: bool = False, warm_start: bool = True,
                      progress=None) -> BuildReport:
     """Return the stored surrogate for ``spec``, building it on a miss.
 
     Parameters
     ----------
-    spec:
+    spec : ProblemSpec
         The surrogate identity (preset + params + reduction config).
-    store:
-        Persistent store to consult and populate.
-    rebuild:
+    store : SurrogateStore
+        Persistent store to consult and populate.  On an adaptive miss
+        it is also searched for the nearest sibling spec (same preset
+        and reduction, perturbed params) whose accepted index set
+        warm-starts the refinement.
+    rebuild : bool, default False
         Force a rebuild even on a hit (e.g. after a solver fix).
-    progress:
-        Optional ``(completed, total)`` callback for the collocation
-        loop of a cold build.
+        Implies a cold build: a rebuild means stored results are not
+        trusted, so no stored sibling may seed (let alone certify) it.
+    warm_start : bool, default True
+        Allow warm-started adaptive builds; ``False`` forces cold
+        refinement from the root index.
+    progress : callable, optional
+        ``(completed, total)`` callback for the collocation loop of a
+        cold build.
+
+    Returns
+    -------
+    BuildReport
+        The record plus what this call actually did and cost.
     """
     key = spec.cache_key()
     start = time.perf_counter()
@@ -91,12 +163,15 @@ def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
         if record is not None:
             return BuildReport(record=record, built=False, num_solves=0,
                                wall_time=time.perf_counter() - start)
-    record = build_surrogate(spec, progress=progress)
+    record = build_surrogate(spec, progress=progress, store=store,
+                             warm_start=warm_start and not rebuild)
     store.save(record)
     # One solve per collocation point, plus the nominal solve when the
     # wPFA needed its weights.
     nominal = 1 if spec.resolved_reduction()["method"] == "wpfa" else 0
     num_solves = record.num_runs + nominal
+    source = (record.refinement or {}).get("warm_start_source")
     return BuildReport(record=record, built=True, num_solves=num_solves,
                        wall_time=time.perf_counter() - start,
-                       replaced_damaged=replaced_damaged)
+                       replaced_damaged=replaced_damaged,
+                       warm_start_source=source)

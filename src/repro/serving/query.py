@@ -93,7 +93,20 @@ class QueryEngine:
 
     def quantiles(self, q, num_samples: int = None,
                   seed: int = None) -> np.ndarray:
-        """``(len(q), output_dim)`` Monte-Carlo quantiles."""
+        """Monte-Carlo quantiles of every output.
+
+        Parameters
+        ----------
+        q : array_like
+            Quantile levels in ``[0, 1]``.
+        num_samples, seed : int, optional
+            Override the engine defaults for this call.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(len(q), output_dim)`` quantile values.
+        """
         q = np.atleast_1d(np.asarray(q, dtype=float))
         if q.size == 0 or np.any((q < 0.0) | (q > 1.0)):
             raise ServingError(
@@ -105,15 +118,28 @@ class QueryEngine:
                     seed: int = None) -> np.ndarray:
         """Fraction of samples with QoI strictly above ``limit``.
 
-        ``limit`` is a scalar or one value per output.  Streaming: only
-        per-chunk counts are kept.
+        Parameters
+        ----------
+        limit : float or array_like
+            Spec limit — a scalar or one value per output.
+        num_samples, seed : int, optional
+            Override the engine defaults for this call.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(output_dim,)`` pass fractions in ``[0, 1]``.  Streaming:
+            only per-chunk counts are kept in memory.
         """
         return self._yield(limit, above=True, num_samples=num_samples,
                            seed=seed)
 
     def yield_below(self, limit, num_samples: int = None,
                     seed: int = None) -> np.ndarray:
-        """Fraction of samples with QoI at or below ``limit``."""
+        """Fraction of samples with QoI at or below ``limit``.
+
+        Mirror of :meth:`yield_above`; same parameters and shape.
+        """
         return self._yield(limit, above=False, num_samples=num_samples,
                            seed=seed)
 
@@ -179,8 +205,18 @@ class QueryEngine:
         ``{"kind": "yield_above"|"yield_below", "limit": ...}``,
         ``{"kind": "corner", "sigma": 3.0}``,
         ``{"kind": "sample_statistics"}``.  Distributional kinds accept
-        ``num_samples`` and ``seed`` overrides.  Values come back as
-        JSON-ready lists in ``output_names`` order.
+        ``num_samples`` and ``seed`` overrides.
+
+        Parameters
+        ----------
+        query : dict
+            One query mapping with at least a ``kind``.
+
+        Returns
+        -------
+        dict
+            ``{"kind": ..., "values": ...}`` with JSON-ready lists in
+            ``output_names`` order.
         """
         if not isinstance(query, dict) or "kind" not in query:
             raise ServingError(f"query must be a dict with a kind, "

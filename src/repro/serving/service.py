@@ -79,9 +79,28 @@ def serve_batch(batch: dict, store: SurrogateStore,
                 engine_options: dict = None) -> dict:
     """Answer a multi-surrogate batch in one call.
 
-    Accepts either ``{"requests": [...]}`` or a single bare request.
-    Per-request failures are reported in place (``"error"`` entries)
-    instead of aborting the rest of the batch.
+    Parameters
+    ----------
+    batch : dict
+        Either ``{"requests": [...]}`` — arbitrarily many surrogates
+        (different structures, variants, frequencies) against one
+        store — or a single bare request.
+    store : SurrogateStore
+        The persistent store consulted (and, on misses, populated).
+    build_missing : bool, default True
+        Build on a cache miss; ``False`` turns misses into per-request
+        errors instead (read-only serving).
+    engine_options : dict, optional
+        Keyword overrides for every
+        :class:`~repro.serving.query.QueryEngine` (``num_samples``,
+        ``seed``, ``chunk_size``).
+
+    Returns
+    -------
+    dict
+        ``{"responses": [...]}`` aligned with the requests.
+        Per-request failures are reported in place (``"error"``
+        entries) instead of aborting the rest of the batch.
     """
     if isinstance(batch, dict) and "requests" in batch:
         unknown = set(batch) - {"requests"}

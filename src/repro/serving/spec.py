@@ -7,7 +7,11 @@ frequency) and the analysis settings (reduction method, energy,
 per-group caps, sparse-grid level, fit).  It is pure data — JSON in,
 JSON out — so requests can cross process boundaries, and its canonical
 form hashes to a deterministic cache key: two specs describe the same
-surrogate if and only if their keys match.
+surrogate if and only if their keys match.  ("Same" means same
+identity and tolerance class: a warm-certified adaptive build stores
+a tol-equivalent — not bitwise-identical — surrogate compared to a
+cold build of the same key; only the ``workers`` knob is exactly
+result-neutral.)
 """
 
 from __future__ import annotations
@@ -27,9 +31,12 @@ SPEC_VERSION = 1
 #: explicit default and an omitted field hash identically).
 #: ``adaptive`` is ``None`` (the paper's fixed level-2 grid) or a
 #: mapping of stopping controls (``tol``, ``max_solves``,
-#: ``max_level``) handed to the dimension-adaptive engine; it is part
-#: of the canonical form, so adaptive and fixed builds of the same
-#: problem never alias in the store.
+#: ``max_level``, plus the execution-only ``workers``) handed to the
+#: dimension-adaptive engine; the stopping controls are part of the
+#: canonical form, so adaptive and fixed builds of the same problem
+#: never alias in the store — while ``workers`` is *stripped* from the
+#: canonical form, because the worker count changes wall time but not
+#: one bit of the surrogate.
 REDUCTION_DEFAULTS = {
     "method": "wpfa",
     "energy": 0.95,
@@ -63,16 +70,30 @@ def _check_json_scalars(mapping: dict, what: str) -> None:
 class ProblemSpec:
     """One surrogate's identity: preset + parameters + analysis config.
 
+    A spec is pure data — JSON in, JSON out — so it crosses process
+    boundaries, and its canonical form hashes to a deterministic cache
+    key: two specs describe the same surrogate if and only if their
+    keys match (up to the adaptive engine's tolerance for
+    warm-certified builds — see ``docs/ADAPTIVE.md``; the ``workers``
+    knob alone is exactly result-neutral).
+
     Parameters
     ----------
-    preset:
+    preset : str
         Registered preset name (see :mod:`repro.serving.presets`).
-    params:
+    params : dict, optional
         Preset parameter overrides (JSON scalars).  Unknown names are
         rejected at resolve time; omitted names take preset defaults.
-    reduction:
-        Analysis overrides: ``method``, ``energy``, ``caps`` (mapping of
-        group name to hard cap), ``level``, ``fit``.
+    reduction : dict, optional
+        Analysis overrides: ``method``, ``energy``, ``caps`` (mapping
+        of group name to hard cap), ``level``, ``fit``, and
+        ``adaptive`` — ``None`` for the fixed level-2 grid, or the
+        dimension-adaptive stopping controls (``tol`` /
+        ``max_solves`` / ``max_level``; a live
+        :class:`~repro.adaptive.driver.AdaptiveConfig` is accepted and
+        normalized to its dict form).  The adaptive block may also
+        carry ``workers`` — an execution knob that never enters the
+        cache key.
     """
 
     preset: str
@@ -97,7 +118,8 @@ class ProblemSpec:
             from repro.adaptive.driver import AdaptiveConfig
             from repro.errors import StochasticError
             if isinstance(adaptive, AdaptiveConfig):
-                self.reduction["adaptive"] = adaptive.to_dict()
+                self.reduction["adaptive"] = adaptive.to_dict(
+                    include_workers=True)
             else:
                 try:
                     AdaptiveConfig.from_dict(adaptive)
@@ -130,15 +152,24 @@ class ProblemSpec:
         return {**preset.defaults, **self.params}
 
     def resolved_reduction(self) -> dict:
-        """Defaults overlaid with overrides; the adaptive block (when
-        present) is expanded to its full stopping-control form, so
-        ``{"tol": 1e-3}`` and ``{"tol": 1e-3, "max_level": None, ...}``
-        hash to the same cache key."""
+        """Defaults overlaid with overrides, fully expanded.
+
+        The adaptive block (when present) is expanded to its full
+        form, so ``{"tol": 1e-3}`` and ``{"tol": 1e-3, "max_level":
+        None, ...}`` hash to the same cache key.  The expansion keeps
+        the execution-only ``workers`` knob (the build needs it);
+        :meth:`canonical` strips it again before hashing.
+
+        Returns
+        -------
+        dict
+            Every reduction setting with a concrete value.
+        """
         reduction = {**REDUCTION_DEFAULTS, **self.reduction}
         if reduction["adaptive"] is not None:
             from repro.adaptive.driver import AdaptiveConfig
             reduction["adaptive"] = AdaptiveConfig.from_dict(
-                reduction["adaptive"]).to_dict()
+                reduction["adaptive"]).to_dict(include_workers=True)
         return reduction
 
     def canonical(self) -> dict:
@@ -152,11 +183,19 @@ class ProblemSpec:
         fixed-grid specs keep the exact canonical form (and cache
         keys) they had before the adaptive engine existed, so stores
         populated earlier stay warm, while adaptive specs add the
-        block and therefore can never alias a fixed-grid entry.
+        block and therefore can never alias a fixed-grid entry.  The
+        adaptive ``workers`` knob is stripped: the same surrogate is
+        built (bitwise) regardless of core count, so core count must
+        not split the cache.
         """
         reduction = self.resolved_reduction()
         if reduction["adaptive"] is None:
             del reduction["adaptive"]
+        else:
+            reduction["adaptive"] = {
+                name: value
+                for name, value in reduction["adaptive"].items()
+                if name != "workers"}
         return {
             "spec_version": SPEC_VERSION,
             "preset": self.preset,

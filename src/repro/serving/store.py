@@ -16,6 +16,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import math
 import os
 import tempfile
 import time
@@ -90,7 +91,15 @@ class SurrogateRecord:
 
 
 class SurrogateStore:
-    """Directory-backed map from cache key to :class:`SurrogateRecord`."""
+    """Directory-backed map from cache key to :class:`SurrogateRecord`.
+
+    Parameters
+    ----------
+    root : str or pathlib.Path
+        Store directory; created (with parents) if missing.  Each
+        entry is a ``<key>.npz`` payload plus a ``<key>.json``
+        sidecar, written atomically and verified on read.
+    """
 
     def __init__(self, root):
         self.root = Path(root).expanduser()
@@ -121,7 +130,19 @@ class SurrogateStore:
 
     # ------------------------------------------------------------------
     def save(self, record: SurrogateRecord) -> str:
-        """Persist a record; returns its cache key."""
+        """Persist a record atomically.
+
+        Parameters
+        ----------
+        record : SurrogateRecord
+            The fitted surrogate with its provenance; its spec's cache
+            key is the storage address.
+
+        Returns
+        -------
+        str
+            The cache key the record was stored under.
+        """
         key = record.cache_key
         payload_path, sidecar_path = self._paths(key)
         buffer = io.BytesIO()
@@ -163,8 +184,22 @@ class SurrogateStore:
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> SurrogateRecord | None:
-        """Load an entry; ``None`` on a clean miss, raises on damage.
+        """Load an entry.
 
+        Parameters
+        ----------
+        key : str
+            A 64-hex spec cache key.
+
+        Returns
+        -------
+        SurrogateRecord or None
+            ``None`` on a clean miss; raises
+            :class:`~repro.errors.StoreCorruptionError` /
+            :class:`~repro.errors.StoreSchemaError` on damage.
+
+        Notes
+        -----
         The payload and sidecar are two files, so a concurrent
         *overwrite* of the same key (``--rebuild``, self-heal) has a
         brief window where a reader sees a mismatched pair.  One
@@ -177,9 +212,17 @@ class SurrogateStore:
             time.sleep(0.05)
             return self._read(key)
 
-    def _read(self, key: str) -> SurrogateRecord | None:
-        payload_path, sidecar_path = self._paths(key)
-        if not payload_path.exists() or not sidecar_path.exists():
+    def _read_sidecar(self, key: str) -> dict | None:
+        """Validated sidecar metadata, without touching the payload.
+
+        ``None`` on a clean miss; raises
+        :class:`~repro.errors.StoreCorruptionError` /
+        :class:`~repro.errors.StoreSchemaError` on damage.  The
+        spec-rehash check runs here too, so metadata-only consumers
+        (inventory, warm-start lookup) never act on an edited sidecar.
+        """
+        _, sidecar_path = self._paths(key)
+        if not sidecar_path.exists():
             return None
         try:
             sidecar = json.loads(sidecar_path.read_text())
@@ -198,6 +241,33 @@ class SurrogateStore:
         if sidecar["cache_key"] != key:
             raise StoreCorruptionError(
                 f"sidecar for {key} claims key {sidecar['cache_key']}")
+        # Rehash the *stored* canonical spec (no preset resolution, so
+        # entries written under older preset defaults stay readable);
+        # a mismatch means the sidecar was edited after being written.
+        stored_key = hashlib.sha256(
+            canonical_json(sidecar["spec"]).encode("utf-8")).hexdigest()
+        if stored_key != key:
+            raise StoreCorruptionError(
+                f"sidecar spec for {key} hashes to {stored_key}; "
+                f"the entry was edited after being written")
+        return sidecar
+
+    def sidecar(self, key: str) -> dict | None:
+        """Public metadata view of one entry (``None`` on a miss).
+
+        Cheap — reads and validates only the JSON sidecar, never the
+        array payload.  This is what inventory tooling and the
+        warm-start lookup iterate over.
+        """
+        return self._read_sidecar(key)
+
+    def _read(self, key: str) -> SurrogateRecord | None:
+        payload_path, _ = self._paths(key)
+        if not payload_path.exists():
+            return None
+        sidecar = self._read_sidecar(key)
+        if sidecar is None:
+            return None
         payload = payload_path.read_bytes()
         digest = hashlib.sha256(payload).hexdigest()
         if digest != sidecar["npz_sha256"]:
@@ -210,15 +280,6 @@ class SurrogateStore:
         except Exception as exc:
             raise StoreCorruptionError(
                 f"undecodable payload for {key}: {exc}") from exc
-        # Rehash the *stored* canonical spec (no preset resolution, so
-        # entries written under older preset defaults stay readable);
-        # a mismatch means the sidecar was edited after being written.
-        stored_key = hashlib.sha256(
-            canonical_json(sidecar["spec"]).encode("utf-8")).hexdigest()
-        if stored_key != key:
-            raise StoreCorruptionError(
-                f"sidecar spec for {key} hashes to {stored_key}; "
-                f"the entry was edited after being written")
         spec = ProblemSpec.from_dict(sidecar["spec"])
         record = SurrogateRecord(
             pce=pce,
@@ -238,3 +299,89 @@ class SurrogateStore:
         if record is None:
             raise ServingError(f"no surrogate stored under {key}")
         return record
+
+    # ------------------------------------------------------------------
+    def find_warm_start(self, spec: ProblemSpec):
+        """Nearest stored adaptive sibling of ``spec`` for warm starts.
+
+        A *sibling* is a stored entry with the same preset and the
+        same canonical reduction block (same method/energy/caps and
+        the same adaptive stopping controls — so its recorded frontier
+        certification is meaningful for this build) whose parameters
+        differ only numerically.  Among siblings, nearest means the
+        smallest relative Euclidean distance over the numeric
+        parameters; ties break on the cache key for determinism.
+
+        Parameters
+        ----------
+        spec : ProblemSpec
+            The spec about to be built.  Must carry an adaptive block;
+            fixed-grid builds have nothing to warm-start.
+
+        Returns
+        -------
+        tuple or None
+            ``(cache_key, sidecar)`` of the nearest sibling whose
+            refinement metadata can seed a
+            :class:`~repro.adaptive.driver.WarmStart`, or ``None``
+            when no usable sibling exists.  Damaged entries are
+            skipped, never raised.
+        """
+        target = spec.canonical()
+        if target["reduction"].get("adaptive") is None:
+            return None
+        own_key = spec.cache_key()
+        best = None
+        for key in self.keys():
+            if key == own_key:
+                continue
+            try:
+                sidecar = self._read_sidecar(key)
+            except (StoreCorruptionError, StoreSchemaError):
+                continue
+            if sidecar is None:
+                continue
+            refinement = sidecar.get("refinement")
+            if not refinement or not (refinement.get("accepted")
+                                      or refinement.get("trace")):
+                continue
+            stored = sidecar["spec"]
+            if stored.get("preset") != target["preset"]:
+                continue
+            if stored.get("reduction") != target["reduction"]:
+                continue
+            distance = _param_distance(target["params"],
+                                       stored.get("params") or {})
+            if distance is None:
+                continue
+            rank = (distance, key)
+            if best is None or rank < best[0]:
+                best = (rank, key, sidecar)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+
+def _param_distance(target: dict, stored: dict):
+    """Relative Euclidean distance between two resolved param dicts.
+
+    ``None`` marks incompatibility: different key sets, or any
+    non-numeric parameter (variant, surface model, ...) that differs —
+    those change the problem family, not just its numbers.  Booleans
+    count as non-numeric.
+    """
+    if set(target) != set(stored):
+        return None
+    total = 0.0
+    for name, x in target.items():
+        y = stored[name]
+        x_numeric = isinstance(x, (int, float)) \
+            and not isinstance(x, bool)
+        y_numeric = isinstance(y, (int, float)) \
+            and not isinstance(y, bool)
+        if x_numeric and y_numeric:
+            scale = max(abs(float(x)), abs(float(y)), 1.0)
+            total += ((float(x) - float(y)) / scale) ** 2
+        elif x != y:
+            return None
+    return math.sqrt(total)

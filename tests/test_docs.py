@@ -1,0 +1,99 @@
+"""Docs health: intra-repo links resolve and CLI docs track --help.
+
+Cheap structural checks, not prose review: every relative link in
+README.md and docs/*.md must point at a file that exists, and
+``docs/CLI.md`` must mention every subcommand and every long flag the
+argument parser actually exposes — so the docs fail loudly the moment
+the CLI drifts.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SUBCOMMANDS = ("info", "structures", "solve", "build", "query")
+
+
+def _doc_files():
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    assert docs, "docs/ tree is missing"
+    return [REPO_ROOT / "README.md"] + docs
+
+
+def _relative_links(path):
+    for target in LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if target:
+            yield target
+
+
+class TestDocLinks:
+    def test_docs_tree_exists(self):
+        for name in ("ARCHITECTURE.md", "CLI.md", "ADAPTIVE.md"):
+            assert (REPO_ROOT / "docs" / name).is_file(), name
+
+    def test_every_relative_link_resolves(self):
+        broken = []
+        for doc in _doc_files():
+            for target in _relative_links(doc):
+                resolved = (doc.parent / target).resolve()
+                if not resolved.exists():
+                    broken.append(f"{doc.relative_to(REPO_ROOT)} -> "
+                                  f"{target}")
+        assert not broken, f"broken doc links: {broken}"
+
+    def test_readme_links_into_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for name in ("docs/ARCHITECTURE.md", "docs/CLI.md",
+                     "docs/ADAPTIVE.md"):
+            assert name in readme, f"README does not link {name}"
+
+
+def _help_text(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 0
+    return capsys.readouterr().out
+
+
+class TestCliDocsDrift:
+    def test_every_subcommand_documented(self, capsys):
+        top = _help_text(["--help"], capsys)
+        cli_doc = (REPO_ROOT / "docs" / "CLI.md").read_text()
+        for command in SUBCOMMANDS:
+            assert command in top, f"{command} missing from --help"
+            assert f"repro {command}" in cli_doc, \
+                f"docs/CLI.md does not document `repro {command}`"
+
+    def test_every_flag_documented(self, capsys):
+        cli_doc = (REPO_ROOT / "docs" / "CLI.md").read_text()
+        missing = []
+        for command in SUBCOMMANDS:
+            help_text = _help_text([command, "--help"], capsys)
+            for flag in set(re.findall(r"--[a-z][a-z-]*", help_text)):
+                if flag == "--help":
+                    continue
+                if f"`{flag}" not in cli_doc:
+                    missing.append(f"{command}: {flag}")
+        assert not missing, \
+            f"flags missing from docs/CLI.md: {sorted(missing)}"
+
+    def test_documented_flags_still_exist(self, capsys):
+        """The reverse direction: no stale flags in docs/CLI.md."""
+        cli_doc = (REPO_ROOT / "docs" / "CLI.md").read_text()
+        real = set()
+        for command in SUBCOMMANDS:
+            real |= set(re.findall(r"--[a-z][a-z-]*",
+                                   _help_text([command, "--help"],
+                                              capsys)))
+        documented = set(re.findall(r"`(--[a-z][a-z-]*)", cli_doc))
+        stale = documented - real
+        assert not stale, f"docs/CLI.md documents removed flags: " \
+                          f"{sorted(stale)}"
