@@ -1,0 +1,191 @@
+"""BASIS GROWTH: order-adaptive chaos vs the fixed order-2 fit.
+
+Before this bench's feature, `max_level > 2` bought *certification*
+only: the grid refined anisotropically but every build was projected
+onto the fixed order-2 chaos, so higher-order content the refined
+rules already resolved was simply thrown away at the fit.  With
+``AdaptiveConfig(basis="adaptive")`` the accepted index set drives the
+truncation (Conrad-Marzouk per-tensor boxes), so refinement effort and
+representational power grow together.
+
+Two cases:
+
+* **synthetic anisotropic** — one of eight directions carries known
+  Hermite content up to order 6 (exact reference statistics).  At the
+  *same solve budget as the fixed level-2 grid*, the `max_level=3`
+  order-adaptive build recovers the std to roundoff while the fixed
+  level-2/order-2 build (and the order-2 fit of the very same adaptive
+  grid) is ~40% off — asserted strictly.
+* **table2 preset sanity** — at `max_level=2` the refinement path is
+  basis-independent (identical grids and solve counts, asserted) and
+  the order-adaptive fit reproduces the order-2 statistics on the
+  paper's near-quadratic QoI.
+
+Results land in ``output/bench_basis_growth.txt`` and machine-readable
+in ``output/BENCH_basis_growth.json`` (guarded by
+``benchmarks/check_bench.py`` in CI).
+"""
+
+import math
+import time
+
+import numpy as np
+
+from repro.adaptive import AdaptiveConfig
+from repro.adaptive import run_adaptive_sscm
+from repro.analysis import run_sscm_analysis
+from repro.experiments import table2_problem
+from repro.reporting import format_kv_block
+from repro.stochastic import hermite_value, run_sscm
+
+from conftest import write_bench_json, write_report
+
+#: Known 1-D Hermite content of the dominant direction: cubic through
+#: sixth-order terms the quadratic chaos cannot represent.
+HIGH_ORDER = {1: 1.2, 2: 0.5, 3: 0.35, 4: 0.15, 5: 0.12, 6: 0.05}
+
+
+def _anisotropic_high_order(d=8, b_minor=0.01, a_minor=0.005):
+    """QoI with order-6 content in direction 0, exact statistics."""
+
+    def f(z):
+        main = 3.0 + sum(c * float(hermite_value(k, z[0]))
+                         for k, c in HIGH_ORDER.items())
+        minor = sum(b_minor * z[i] + a_minor * (z[i] ** 2 - 1.0)
+                    for i in range(1, d))
+        return np.array([main + minor])
+
+    variance = sum(c * c * math.factorial(k)
+                   for k, c in HIGH_ORDER.items()) \
+        + (d - 1) * (b_minor ** 2 + 2.0 * a_minor ** 2)
+    return f, 3.0, math.sqrt(variance)
+
+
+def test_order_adaptive_beats_fixed_order2(output_dir):
+    """Acceptance: strictly lower std error than the fixed
+    level-2/order-2 build at the same solve budget."""
+    d = 8
+    f, exact_mean, exact_std = _anisotropic_high_order(d)
+
+    start = time.perf_counter()
+    fixed = run_sscm(f, d, level=2)
+    wall_fixed = time.perf_counter() - start
+
+    # Same budget as the fixed grid; max_level=3 lets the dominant
+    # direction refine past the level-2 simplex.
+    config = dict(tol=1e-4, max_level=3, max_solves=fixed.num_runs)
+    start = time.perf_counter()
+    grown = run_adaptive_sscm(
+        f, d, AdaptiveConfig(basis="adaptive", **config))
+    wall_grown = time.perf_counter() - start
+    order2 = run_adaptive_sscm(f, d, AdaptiveConfig(**config))
+
+    def rel_err(result):
+        return (float(abs(result.mean[0] - exact_mean)
+                      / abs(exact_mean)),
+                float(abs(result.std[0] - exact_std) / exact_std))
+
+    mean_err_fixed, std_err_fixed = rel_err(fixed)
+    mean_err_order2, std_err_order2 = rel_err(order2)
+    mean_err_grown, std_err_grown = rel_err(grown)
+    stats = {
+        "dim": d,
+        "solves_fixed": int(fixed.num_runs),
+        "solves_adaptive": int(grown.num_runs),
+        "termination": grown.termination,
+        "wall_fixed_s": wall_fixed,
+        "wall_adaptive_s": wall_grown,
+        "mean_rel_err_fixed": mean_err_fixed,
+        "std_rel_err_fixed": std_err_fixed,
+        "std_rel_err_order2_fit": std_err_order2,
+        "mean_rel_err_adaptive": mean_err_grown,
+        "std_rel_err_adaptive": std_err_grown,
+        "basis_size_order2": int(order2.pce.basis.size),
+        "basis_size_adaptive": int(grown.pce.basis.size),
+        "basis_order_adaptive": int(grown.pce.basis.order),
+    }
+
+    rows = [
+        (f"fixed level-2 / order-2 (d={d})",
+         f"{stats['solves_fixed']} solves, std rel err "
+         f"{std_err_fixed:.2e}"),
+        ("adaptive max_level=3, order-2 fit",
+         f"{stats['solves_adaptive']} solves, std rel err "
+         f"{std_err_order2:.2e}"),
+        ("adaptive max_level=3, basis=adaptive",
+         f"{stats['solves_adaptive']} solves, std rel err "
+         f"{std_err_grown:.2e}"),
+        ("adaptive basis (size / max order)",
+         f"{stats['basis_size_adaptive']} terms / order "
+         f"{stats['basis_order_adaptive']}"),
+    ]
+    write_report(output_dir, "bench_basis_growth",
+                 format_kv_block(rows, title="order-adaptive basis "
+                                             "vs fixed order-2"))
+    write_bench_json(output_dir, "basis_growth", {"synthetic": stats})
+
+    # The acceptance bar: same budget, strictly lower std error — by
+    # orders of magnitude, not by luck.
+    assert stats["solves_adaptive"] <= stats["solves_fixed"]
+    assert std_err_grown < std_err_fixed
+    assert std_err_grown < std_err_order2
+    assert std_err_grown <= 1e-9
+    assert std_err_fixed >= 1e-2  # the gap is real, not roundoff
+    assert mean_err_grown <= 1e-9 and mean_err_fixed <= 1e-9
+
+
+def test_basis_growth_is_stable_on_table2(profile, output_dir):
+    """Physical sanity: identical grids either way, and the
+    order-adaptive fit reproduces the order-2 statistics on the
+    paper's near-quadratic capacitance QoI."""
+    srv = profile["serving"]
+    t2 = profile["table2"]
+    problem = table2_problem(t2["config"]())
+    caps = {}
+    for group in problem.groups:
+        if group.kind == "doping":
+            caps[group.name] = srv["cap_doping"]
+        elif "+" in group.name:
+            caps[group.name] = srv["cap_merged"]
+        else:
+            caps[group.name] = srv["cap_small"]
+
+    stopping = dict(tol=1e-3, max_level=2)
+    order2 = run_sscm_analysis(
+        problem, max_variables_by_group=caps,
+        refinement=AdaptiveConfig(**stopping))
+    grown = run_sscm_analysis(
+        problem, max_variables_by_group=caps,
+        refinement=AdaptiveConfig(basis="adaptive", **stopping))
+
+    scale = np.maximum(np.abs(order2.std), 1e-30)
+    std_shift = float(np.max(np.abs(grown.std - order2.std) / scale))
+    mean_scale = np.maximum(np.abs(order2.mean), 1e-30)
+    mean_shift = float(np.max(np.abs(grown.mean - order2.mean)
+                              / mean_scale))
+    stats = {
+        "dim": int(order2.dim),
+        "solves_order2": int(order2.num_runs),
+        "solves_adaptive_basis": int(grown.num_runs),
+        "std_rel_err_vs_order2": std_shift,
+        "mean_rel_err_vs_order2": mean_shift,
+        "basis_size": int(grown.sscm.pce.basis.size),
+    }
+    rows = [
+        (f"table2 d={stats['dim']} solves",
+         f"order2 {stats['solves_order2']} == adaptive-basis "
+         f"{stats['solves_adaptive_basis']}"),
+        ("max rel shift (mean / std)",
+         f"{mean_shift:.1e} / {std_shift:.1e}"),
+    ]
+    write_report(output_dir, "bench_basis_growth_table2",
+                 format_kv_block(rows, title="basis growth sanity: "
+                                             "table2 preset"))
+    write_bench_json(output_dir, "basis_growth_table2",
+                     {"table2": stats})
+
+    # Basis choice must never change the refinement path...
+    assert stats["solves_adaptive_basis"] == stats["solves_order2"]
+    # ...and on a near-quadratic QoI it must not move the statistics.
+    assert std_shift <= 1e-3
+    assert mean_shift <= 1e-6

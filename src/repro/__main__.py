@@ -7,6 +7,7 @@ Usage::
     python -m repro solve metalplug       # nominal coupled solve
     python -m repro build request.json    # build/fetch surrogates
     python -m repro query request.json    # answer statistical queries
+    python -m repro store ls              # surrogate store inventory
 
 ``build`` and ``query`` take JSON request files (see
 :mod:`repro.serving.service`) and emit JSON responses on stdout, so the
@@ -135,13 +136,14 @@ def cmd_solve(args) -> int:
 def _overlay_adaptive(spec, args):
     """Apply ``--adaptive``/``--tol``/... build flags onto one spec.
 
-    Flags overlay (and win over) whatever adaptive block the request
-    file carries, producing a new spec — and hence a new cache key, so
-    adaptive and fixed builds of the same problem never alias.  The
-    exception is ``--workers``: it lands in the adaptive block like
-    the others (and implies ``--adaptive``) but is an execution knob
-    the cache key deliberately ignores — the same surrogate is built
-    bit for bit on any core count.
+    Identity flags (``--tol``/``--max-solves``/``--max-level``/
+    ``--basis``) overlay (and win over) whatever adaptive block the
+    request file carries, producing a new spec — and hence a new cache
+    key, so adaptive and fixed builds of the same problem never alias.
+    ``--workers`` is different: it is an execution knob for *both*
+    collocation modes (the fixed level-2 grid parallelizes as one
+    wave), lands at the reduction level and never enters the cache key
+    — the same surrogate is built bit for bit on any core count.
     """
     from repro.serving.spec import ProblemSpec
     overrides = {}
@@ -151,14 +153,17 @@ def _overlay_adaptive(spec, args):
         overrides["max_solves"] = args.max_solves
     if args.max_level is not None:
         overrides["max_level"] = args.max_level
-    if args.workers is not None:
-        overrides["workers"] = args.workers
-    if not args.adaptive and not overrides:
+    if args.basis is not None:
+        overrides["basis"] = args.basis
+    if not args.adaptive and not overrides and args.workers is None:
         return spec
-    adaptive = dict(spec.reduction.get("adaptive") or {})
-    adaptive.update(overrides)
     reduction = dict(spec.reduction)
-    reduction["adaptive"] = adaptive
+    if args.adaptive or overrides:
+        adaptive = dict(reduction.get("adaptive") or {})
+        adaptive.update(overrides)
+        reduction["adaptive"] = adaptive
+    if args.workers is not None:
+        reduction["workers"] = args.workers
     return ProblemSpec(preset=spec.preset, params=spec.params,
                        reduction=reduction)
 
@@ -189,6 +194,7 @@ def cmd_build(args) -> int:
             "wall_time": report.wall_time,
             "output_names": report.record.output_names,
             "adaptive": report.record.refinement is not None,
+            "basis": report.record.pce.basis.describe(),
         }
         if report.record.refinement is not None:
             refinement = report.record.refinement
@@ -198,6 +204,38 @@ def cmd_build(args) -> int:
             entry["warm_start_source"] = report.warm_start_source
         reports.append(entry)
     _emit_json({"store": str(store.root), "builds": reports})
+    return 0
+
+
+def cmd_store_ls(args) -> int:
+    import time as _time
+    from repro.serving import open_store
+    store = open_store(args.store)
+    entries = store.inventory()
+    if args.json:
+        _emit_json({"store": str(store.root), "entries": entries})
+        return 0
+    if not entries:
+        print(f"store {store.root}: empty")
+        return 0
+    rows = []
+    for entry in entries:
+        if "damaged" in entry:
+            rows.append((entry["key"][:16],
+                         f"DAMAGED: {entry['damaged']}"))
+            continue
+        basis = entry["basis"]
+        last_used = _time.strftime(
+            "%Y-%m-%d %H:%M", _time.localtime(entry["last_used"]))
+        rows.append((
+            entry["key"][:16],
+            f"{entry['preset']}  {entry['reduction']}  "
+            f"basis={basis['kind']}:{basis['order']}  "
+            f"{entry['size_bytes']} B  runs={entry['num_runs']}  "
+            f"last used {last_used}"))
+    print(format_kv_block(
+        rows, title=f"surrogate store {store.root} "
+                    f"({len(entries)} entries)"))
     return 0
 
 
@@ -264,11 +302,19 @@ def main(argv=None) -> int:
     p_build.add_argument("--max-level", type=int, default=None,
                          help="adaptive: cap on the total refinement "
                               "level of any index (implies --adaptive)")
+    p_build.add_argument("--basis", choices=("order2", "adaptive"),
+                         default=None,
+                         help="adaptive: chaos truncation — 'order2' "
+                              "keeps the paper's quadratic basis, "
+                              "'adaptive' lets the accepted index set "
+                              "grow it (implies --adaptive; part of "
+                              "the cache key)")
     p_build.add_argument("--workers", type=int, default=None,
-                         help="adaptive: evaluate each refinement "
-                              "wave on N worker processes (implies "
-                              "--adaptive; bitwise-identical result, "
-                              "never part of the cache key)")
+                         help="evaluate collocation points on N worker "
+                              "processes — refinement waves and the "
+                              "fixed level-2 grid alike "
+                              "(bitwise-identical result, never part "
+                              "of the cache key)")
     p_build.add_argument("--no-warm-start", action="store_true",
                          help="adaptive: refine from the root index "
                               "even when a stored sibling surrogate "
@@ -284,6 +330,21 @@ def main(argv=None) -> int:
     p_query.add_argument("--no-build", action="store_true",
                          help="fail on a cache miss instead of building")
     p_query.set_defaults(func=cmd_query)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect the surrogate store")
+    store_sub = p_store.add_subparsers(dest="store_command",
+                                       required=True)
+    p_store_ls = store_sub.add_parser(
+        "ls",
+        help="list stored surrogates (cheap: sidecar metadata only)")
+    p_store_ls.add_argument("--store", default=None,
+                            help="surrogate store directory "
+                                 "(default ~/.cache/repro/surrogates)")
+    p_store_ls.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+    p_store_ls.set_defaults(func=cmd_store_ls)
 
     args = parser.parse_args(argv)
     try:

@@ -20,9 +20,11 @@ from repro.adaptive.indices import (
 )
 from repro.adaptive.grid import IncrementalGrid
 from repro.adaptive.surplus import (
+    adaptive_basis_indices,
     difference_quadrature,
     integral_scale,
     surplus_indicator,
+    tensor_degree_caps,
     tensor_quadrature,
 )
 from repro.adaptive.driver import (
@@ -37,9 +39,11 @@ __all__ = [
     "combination_coefficients",
     "is_downward_closed",
     "IncrementalGrid",
+    "adaptive_basis_indices",
     "difference_quadrature",
     "integral_scale",
     "surplus_indicator",
+    "tensor_degree_caps",
     "tensor_quadrature",
     "AdaptiveConfig",
     "AdaptiveResult",

@@ -44,18 +44,22 @@ import numpy as np
 
 from repro.errors import StochasticError
 from repro.stochastic.hermite import HermiteBasis
-from repro.stochastic.pce import QuadraticPCE
+from repro.stochastic.pce import PolynomialChaos
 from repro.stochastic.sparse_grid import SparseGrid
 from repro.adaptive.grid import IncrementalGrid
 from repro.adaptive.indices import MultiIndexSet
 from repro.adaptive.indices import combination_coefficients
 from repro.adaptive.indices import is_downward_closed
 from repro.adaptive.surplus import (
+    adaptive_basis_indices,
     difference_quadrature,
     integral_scale,
     surplus_indicator,
+    tensor_degree_caps,
 )
-from repro.stochastic.gauss_hermite import rule_size_for_level
+
+#: Valid values of :attr:`AdaptiveConfig.basis`.
+BASIS_MODES = ("order2", "adaptive")
 
 
 @dataclass(frozen=True)
@@ -86,6 +90,15 @@ class AdaptiveConfig:
         Cap on the *total* level ``|l|`` of any accepted index
         (``max_level=2`` confines refinement to subsets of the fixed
         level-2 Smolyak simplex); ``None`` means uncapped.
+    basis : {"order2", "adaptive"}, default "order2"
+        Chaos truncation of the final fit.  ``"order2"`` keeps the
+        paper's fixed quadratic basis (bitwise-unchanged results);
+        ``"adaptive"`` lets the accepted index set drive the basis —
+        every tensor rule contributes the terms it resolves without
+        aliasing (:func:`~repro.adaptive.surplus.adaptive_basis_indices`),
+        so ``max_level > 2`` buys representational accuracy, not just
+        certification.  Part of the build identity (and cache key);
+        the refinement *path* itself is basis-independent.
     workers : int or None, default None
         Fan each refinement wave's never-seen collocation points over
         this many worker processes (``None`` or 1 keeps the serial
@@ -96,6 +109,7 @@ class AdaptiveConfig:
     tol: float = 1e-4
     max_solves: int = None
     max_level: int = None
+    basis: str = "order2"
     workers: int = None
 
     def __post_init__(self) -> None:
@@ -104,6 +118,10 @@ class AdaptiveConfig:
                 or tol < 0:
             raise StochasticError(
                 f"tol must be a finite non-negative number, got {tol!r}")
+        if self.basis not in BASIS_MODES:
+            raise StochasticError(
+                f"basis must be one of {list(BASIS_MODES)}, "
+                f"got {self.basis!r}")
         for name in ("max_solves", "max_level", "workers"):
             value = getattr(self, name)
             if value is None:
@@ -136,6 +154,11 @@ class AdaptiveConfig:
         data = {"tol": float(self.tol),
                 "max_solves": self.max_solves,
                 "max_level": self.max_level}
+        if self.basis != "order2":
+            # Identity-affecting, but omitted at the default so every
+            # order-2 spec keeps the exact canonical form (and cache
+            # key) it had before order-adaptive bases existed.
+            data["basis"] = self.basis
         if include_workers:
             data["workers"] = self.workers
         return data
@@ -162,11 +185,12 @@ class AdaptiveConfig:
                 f"adaptive config must be a mapping, "
                 f"got {type(data).__name__}")
         unknown = set(data) - {"tol", "max_solves", "max_level",
-                               "workers"}
+                               "basis", "workers"}
         if unknown:
             raise StochasticError(
                 f"unknown adaptive settings {sorted(unknown)}; "
-                f"valid: ['max_level', 'max_solves', 'tol', 'workers']")
+                f"valid: ['basis', 'max_level', 'max_solves', 'tol', "
+                f"'workers']")
         kwargs = {}
         for name in ("tol", "max_solves", "max_level", "workers"):
             if name in data and data[name] is not None:
@@ -177,6 +201,10 @@ class AdaptiveConfig:
                 kwargs[name] = value
             elif name in data:
                 kwargs[name] = None
+        if data.get("basis") is not None:
+            # A None basis means "the default", matching the omission
+            # in to_dict.
+            kwargs["basis"] = data["basis"]
         return cls(**kwargs)
 
 
@@ -275,7 +303,7 @@ class AdaptiveResult:
     trace and the final error estimate.
     """
 
-    pce: QuadraticPCE
+    pce: PolynomialChaos
     num_runs: int
     wall_time: float
     grid: SparseGrid
@@ -359,13 +387,19 @@ def combination_projection(grid: IncrementalGrid, values: np.ndarray,
     coefficients; for the complete level-2 simplex this reproduces the
     classic Smolyak projection exactly.
 
+    The same per-tensor caps serve any basis: the paper's fixed order-2
+    truncation, or the order-adaptive basis
+    (:func:`~repro.adaptive.surplus.adaptive_basis_indices`) whose
+    terms are by construction each resolved by at least one member
+    rule.
+
     Returns the ``(basis.size, outputs)`` coefficient matrix.
     """
     design_all = basis.evaluate(grid.points())
     coefficients = np.zeros((basis.size, values.shape[1]))
     for index, coeff in combination_coefficients(indices).items():
         rows, weights = grid.tensor_rows(index)
-        caps = [rule_size_for_level(level) - 1 for level in index]
+        caps = tensor_degree_caps(index)
         columns = np.array([
             k for k, alpha in enumerate(basis.indices)
             if all(a <= cap for a, cap in zip(alpha, caps))])
@@ -674,11 +708,19 @@ def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
 
     indices = index_set.indices()
     final_grid = grid.combined_quadrature(indices)
-    basis = HermiteBasis(dim, order=order)
-    pce = QuadraticPCE(basis,
-                       combination_projection(grid, values, indices,
-                                              basis),
-                       output_names=output_names)
+    if config.basis == "adaptive":
+        # Let the accepted index set drive the truncation: every term
+        # some member rule resolves without aliasing is retained, so
+        # refining a direction past level 2 grows its polynomial
+        # order along with its grid.
+        basis = HermiteBasis(dim,
+                             indices=adaptive_basis_indices(indices))
+    else:
+        basis = HermiteBasis(dim, order=order)
+    pce = PolynomialChaos(basis,
+                          combination_projection(grid, values, indices,
+                                                 basis),
+                          output_names=output_names)
     wall = time.perf_counter() - start
     final_error = (warm_error if termination == "warm"
                    else index_set.error_estimate())

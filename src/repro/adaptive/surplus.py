@@ -17,12 +17,13 @@ refined and isotropic waste is skipped.
 
 from __future__ import annotations
 
-from itertools import combinations
+from itertools import combinations, product
 
 import numpy as np
 
 from repro.errors import StochasticError
 from repro.adaptive.grid import IncrementalGrid
+from repro.stochastic.gauss_hermite import rule_size_for_level
 
 
 def tensor_quadrature(grid: IncrementalGrid, values: np.ndarray,
@@ -55,6 +56,42 @@ def difference_quadrature(grid: IncrementalGrid, values: np.ndarray,
             surplus = surplus + sign * tensor_quadrature(
                 grid, values, tuple(lower))
     return surplus
+
+
+def tensor_degree_caps(index) -> tuple:
+    """Largest aliasing-free 1-D Hermite degree per direction of a rule.
+
+    A level-``l`` 1-D rule has ``m = rule_size_for_level(l)`` nodes and
+    integrates degree ``2m - 1`` exactly, so projecting onto ``He_a``
+    with ``a <= m - 1`` is exact for any integrand the rule itself can
+    represent — the Conrad-Marzouk criterion the per-tensor projection
+    and the order-adaptive basis both truncate by.
+    """
+    return tuple(rule_size_for_level(int(level)) - 1 for level in index)
+
+
+def adaptive_basis_indices(indices) -> list:
+    """Order-adaptive chaos truncation driven by an accepted index set.
+
+    The union, over every tensor rule in the (downward-closed) level
+    index set, of the aliasing-free basis box of that rule
+    (:func:`tensor_degree_caps`): a direction refined to level ``l``
+    contributes 1-D degrees up to ``rule_size_for_level(l) - 1``
+    (2, 4, 8, ... at levels 1, 2, 3), and cross terms appear exactly
+    where some accepted rule resolves them jointly.  Each member's box
+    is ``prod(cap_j + 1)`` over its support — indices are sparse, so
+    this never approaches ``(max_degree + 1)^dim``.
+
+    Returned graded-lexicographically sorted, the constant term first
+    — ready for :class:`~repro.stochastic.hermite.HermiteBasis`.
+    """
+    out = set()
+    for index in indices:
+        caps = tensor_degree_caps(index)
+        out.update(product(*(range(cap + 1) for cap in caps)))
+    if not out:
+        raise StochasticError("index set is empty")
+    return sorted(out, key=lambda alpha: (sum(alpha), alpha))
 
 
 def surplus_indicator(surplus: np.ndarray, scale: np.ndarray) -> float:

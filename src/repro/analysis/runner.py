@@ -82,6 +82,15 @@ class AnalysisResult:
         metadata = getattr(self.sscm, "refinement_metadata", None)
         return metadata() if callable(metadata) else None
 
+    def basis_metadata(self) -> dict:
+        """The fitted chaos basis identity (kind, order, size) as a
+        JSON-serializable dict — ``total-degree`` order 2 for every
+        fixed-grid or default adaptive build, ``explicit`` for
+        order-adaptive ones.  Persisted in the surrogate sidecar so a
+        stored entry documents what its coefficient rows mean.
+        """
+        return self.sscm.pce.basis.describe()
+
 
 def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
                       energy: float = 0.95,
@@ -91,6 +100,7 @@ def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
                       refinement: AdaptiveConfig = None,
                       problem_builder=None,
                       warm_start: WarmStart = None,
+                      workers: int = None,
                       progress=None) -> AnalysisResult:
     """Full SSCM pipeline (paper Sections II.B + III.C).
 
@@ -142,6 +152,16 @@ def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
         set (see :class:`~repro.adaptive.driver.WarmStart`); requires
         ``refinement``.  The serving layer wires this automatically
         from the surrogate store's nearest stored sibling spec.
+    workers : int, optional
+        Fan the deterministic solves over this many worker processes
+        — for *both* collocation modes.  The fixed level-``level``
+        grid is evaluated as one
+        :class:`~repro.analysis.parallel.ParallelWaveEvaluator` wave
+        (bitwise-identical to the serial loop); adaptive builds treat
+        it as the default when ``refinement.workers`` is unset.  Pure
+        execution policy — never part of a spec cache key — and, like
+        ``refinement.workers``, it requires ``problem_builder`` when
+        above 1.
     progress : callable, optional
         ``(completed, total)`` callback for the collocation loop.
 
@@ -163,10 +183,19 @@ def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
         raise StochasticError(
             "warm_start only applies to adaptive builds; pass a "
             "refinement config")
-    if refinement is not None and refinement.workers is not None \
-            and refinement.workers > 1 and problem_builder is None:
+    if workers is not None \
+            and (not isinstance(workers, int) or isinstance(workers, bool)
+                 or workers < 1):
         raise StochasticError(
-            "refinement.workers > 1 needs a picklable problem_builder "
+            f"workers must be a positive integer or None, "
+            f"got {workers!r}")
+    if refinement is not None and refinement.workers is not None:
+        # The adaptive block's own knob wins over the reduction-level
+        # one (they are the same execution policy at two scopes).
+        workers = refinement.workers
+    if workers is not None and workers > 1 and problem_builder is None:
+        raise StochasticError(
+            "workers > 1 needs a picklable problem_builder "
             "so worker processes can rebuild the problem (e.g. "
             "functools.partial over a preset, or spec.build_problem)")
     weights = None
@@ -180,26 +209,29 @@ def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
         xi_by_group = reduced_space.split(zeta)
         return problem.evaluate_sample(xi_by_group)
 
-    if refinement is not None:
-        evaluator = None
-        if refinement.workers is not None and refinement.workers > 1:
-            evaluator = ParallelWaveEvaluator(
-                problem_builder, reduced_space,
-                num_workers=refinement.workers)
-        try:
+    evaluator = None
+    if workers is not None and workers > 1:
+        evaluator = ParallelWaveEvaluator(
+            problem_builder, reduced_space, num_workers=workers)
+    try:
+        if refinement is not None:
             sscm = run_adaptive_sscm(solve_fn, reduced_space.dim,
                                      config=refinement,
                                      output_names=problem.qoi_names,
                                      solve_many=evaluator,
                                      warm_start=warm_start,
                                      progress=progress)
-        finally:
-            if evaluator is not None:
-                evaluator.close()
-    else:
-        sscm = run_sscm(solve_fn, reduced_space.dim,
-                        output_names=problem.qoi_names, level=level,
-                        fit=fit, progress=progress)
+        else:
+            # The fixed grid is one big wave: the same evaluator that
+            # fans adaptive refinement waves digests it whole,
+            # bitwise-identical to the serial loop.
+            sscm = run_sscm(solve_fn, reduced_space.dim,
+                            output_names=problem.qoi_names, level=level,
+                            fit=fit, progress=progress,
+                            solve_many=evaluator)
+    finally:
+        if evaluator is not None:
+            evaluator.close()
     return AnalysisResult(sscm=sscm, reduced_space=reduced_space)
 
 

@@ -161,6 +161,9 @@ def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
             record = None
             replaced_damaged = True
         if record is not None:
+            # Usage bookkeeping for the inventory / future LRU
+            # eviction: a hit refreshes the entry's last_used stamp.
+            store.touch(key)
             return BuildReport(record=record, built=False, num_solves=0,
                                wall_time=time.perf_counter() - start)
     record = build_surrogate(spec, progress=progress, store=store,

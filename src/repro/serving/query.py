@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ServingError
-from repro.stochastic.pce import DEFAULT_CHUNK_SIZE, QuadraticPCE
+from repro.stochastic.pce import DEFAULT_CHUNK_SIZE, PolynomialChaos
 
 
 class QueryEngine:
@@ -23,7 +23,8 @@ class QueryEngine:
     Parameters
     ----------
     surrogate:
-        A :class:`~repro.stochastic.pce.QuadraticPCE` or a
+        A :class:`~repro.stochastic.pce.PolynomialChaos` (any order,
+        total-degree or order-adaptive) or a
         :class:`~repro.serving.store.SurrogateRecord` (whose PCE is
         used).
     num_samples:
@@ -37,10 +38,10 @@ class QueryEngine:
     def __init__(self, surrogate, num_samples: int = 1000000,
                  seed: int = 0, chunk_size: int = DEFAULT_CHUNK_SIZE):
         pce = getattr(surrogate, "pce", surrogate)
-        if not isinstance(pce, QuadraticPCE):
+        if not isinstance(pce, PolynomialChaos):
             raise ServingError(
-                f"QueryEngine needs a QuadraticPCE or SurrogateRecord, "
-                f"got {type(surrogate).__name__}")
+                f"QueryEngine needs a PolynomialChaos or "
+                f"SurrogateRecord, got {type(surrogate).__name__}")
         if num_samples < 2:
             raise ServingError(
                 f"num_samples must be >= 2, got {num_samples}")
@@ -169,11 +170,13 @@ class QueryEngine:
         """Deterministic worst-direction corner of the surrogate.
 
         For each output the linear coefficients define the steepest
-        direction of the response surface; the full quadratic model is
-        evaluated at ``zeta = +/- sigma`` along that (unit) direction.
-        Returns ``{"low": (k,), "high": (k,)}`` — the classic
-        slow/fast-corner bracket, including the quadratic curvature the
-        linearized corner would miss.
+        direction of the response surface; the full chaos (quadratic
+        or order-adaptive — directions whose He_1 term is not in the
+        basis contribute zero slope) is evaluated at
+        ``zeta = +/- sigma`` along that (unit) direction.  Returns
+        ``{"low": (k,), "high": (k,)}`` — the classic slow/fast-corner
+        bracket, including the curvature the linearized corner would
+        miss.
         """
         if sigma < 0.0:
             raise ServingError(f"sigma must be >= 0, got {sigma}")

@@ -61,6 +61,7 @@ def serve_request(request: dict, store: SurrogateStore,
                                      report.num_solves)
     else:
         record = store.load(spec.cache_key())
+        store.touch(record.cache_key)
         built, num_solves = False, 0
     engine = QueryEngine(record, **(engine_options or {}))
     return {
@@ -69,6 +70,7 @@ def serve_request(request: dict, store: SurrogateStore,
         "built": built,
         "num_solves": num_solves,
         "adaptive": record.refinement is not None,
+        "basis": record.pce.basis.describe(),
         "output_names": record.output_names,
         "answers": [engine.answer(query) for query in queries],
     }

@@ -31,12 +31,14 @@ SPEC_VERSION = 1
 #: explicit default and an omitted field hash identically).
 #: ``adaptive`` is ``None`` (the paper's fixed level-2 grid) or a
 #: mapping of stopping controls (``tol``, ``max_solves``,
-#: ``max_level``, plus the execution-only ``workers``) handed to the
-#: dimension-adaptive engine; the stopping controls are part of the
-#: canonical form, so adaptive and fixed builds of the same problem
-#: never alias in the store — while ``workers`` is *stripped* from the
-#: canonical form, because the worker count changes wall time but not
-#: one bit of the surrogate.
+#: ``max_level``, the chaos ``basis`` mode, plus the execution-only
+#: ``workers``) handed to the dimension-adaptive engine; the stopping
+#: controls and the basis are part of the canonical form, so adaptive
+#: / fixed / order-adaptive builds of the same problem never alias in
+#: the store.  ``workers`` — at the reduction level (fixed-grid
+#: parallel collocation) and inside the adaptive block alike — is
+#: *stripped* from the canonical form, because the worker count
+#: changes wall time but not one bit of the surrogate.
 REDUCTION_DEFAULTS = {
     "method": "wpfa",
     "energy": 0.95,
@@ -44,6 +46,7 @@ REDUCTION_DEFAULTS = {
     "level": 2,
     "fit": "quadrature",
     "adaptive": None,
+    "workers": None,
 }
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
@@ -86,14 +89,16 @@ class ProblemSpec:
         rejected at resolve time; omitted names take preset defaults.
     reduction : dict, optional
         Analysis overrides: ``method``, ``energy``, ``caps`` (mapping
-        of group name to hard cap), ``level``, ``fit``, and
+        of group name to hard cap), ``level``, ``fit``, ``workers``
+        (fan the collocation solves over worker processes — an
+        execution knob that never enters the cache key) and
         ``adaptive`` — ``None`` for the fixed level-2 grid, or the
         dimension-adaptive stopping controls (``tol`` /
-        ``max_solves`` / ``max_level``; a live
+        ``max_solves`` / ``max_level`` / ``basis``; a live
         :class:`~repro.adaptive.driver.AdaptiveConfig` is accepted and
         normalized to its dict form).  The adaptive block may also
-        carry ``workers`` — an execution knob that never enters the
-        cache key.
+        carry its own ``workers``, which wins over the reduction-level
+        one; neither enters the cache key.
     """
 
     preset: str
@@ -111,6 +116,13 @@ class ProblemSpec:
             raise ServingError(
                 f"unknown reduction settings {sorted(unknown)}; "
                 f"valid: {sorted(REDUCTION_DEFAULTS)}")
+        workers = self.reduction.get("workers")
+        if workers is not None and (not isinstance(workers, int)
+                                    or isinstance(workers, bool)
+                                    or workers < 1):
+            raise ServingError(
+                f"reduction['workers'] must be a positive integer or "
+                f"None, got {workers!r}")
         adaptive = self.reduction.get("adaptive")
         if adaptive is not None:
             # Accept a live AdaptiveConfig for convenience; the wire
@@ -184,11 +196,16 @@ class ProblemSpec:
         keys) they had before the adaptive engine existed, so stores
         populated earlier stay warm, while adaptive specs add the
         block and therefore can never alias a fixed-grid entry.  The
-        adaptive ``workers`` knob is stripped: the same surrogate is
-        built (bitwise) regardless of core count, so core count must
-        not split the cache.
+        adaptive ``basis`` mode follows the same rule at the next
+        level down: the default ``"order2"`` is omitted (by
+        ``AdaptiveConfig.to_dict``), so pre-existing adaptive keys
+        survive byte-for-byte while order-adaptive specs hash apart.
+        The ``workers`` knobs (reduction-level and adaptive-block) are
+        stripped: the same surrogate is built (bitwise) regardless of
+        core count, so core count must not split the cache.
         """
         reduction = self.resolved_reduction()
+        del reduction["workers"]
         if reduction["adaptive"] is None:
             del reduction["adaptive"]
         else:
@@ -233,6 +250,7 @@ class ProblemSpec:
             "level": reduction["level"],
             "fit": reduction["fit"],
             "refinement": refinement,
+            "workers": reduction["workers"],
         }
 
     # ------------------------------------------------------------------

@@ -33,9 +33,22 @@ from repro.errors import (
 from repro.serving.spec import ProblemSpec, canonical_json
 from repro.stochastic.pce import QuadraticPCE
 
-#: On-disk layout version.  Entries written under a different version
-#: are rejected on load (StoreSchemaError) rather than reinterpreted.
+#: On-disk layout version.  Entries written under an unsupported
+#: version are rejected on load (StoreSchemaError) rather than
+#: reinterpreted.
 SCHEMA_VERSION = 1
+
+#: Entries whose payload carries an explicit (order-adaptive) basis
+#: are stamped with this version: readers that predate explicit bases
+#: then reject them with a clear schema message instead of a
+#: confusing coefficient-shape error, while order-2 entries keep the
+#: original version (and byte layout) so old stores stay readable and
+#: old readers keep reading everything this build writes for them.
+EXPLICIT_BASIS_SCHEMA_VERSION = 2
+
+#: Versions this build reads.
+SUPPORTED_SCHEMA_VERSIONS = (SCHEMA_VERSION,
+                             EXPLICIT_BASIS_SCHEMA_VERSION)
 
 _KEY_HEX = 64
 
@@ -47,7 +60,10 @@ class SurrogateRecord:
     Attributes
     ----------
     pce:
-        The fitted quadratic Hermite chaos (the actual surrogate).
+        The fitted Hermite chaos (the actual surrogate) — the paper's
+        order-2 model or an order-adaptive
+        :class:`~repro.stochastic.pce.PolynomialChaos`; its basis
+        identity is persisted in the sidecar's ``basis`` field.
     spec:
         The declarative spec that identifies (and can rebuild) it.
     reduction:
@@ -148,8 +164,11 @@ class SurrogateStore:
         buffer = io.BytesIO()
         np.savez(buffer, **record.pce.to_arrays())
         payload = buffer.getvalue()
+        created_at = float(record.created_at or time.time())
+        explicit = record.pce.basis.truncation != "total"
         sidecar = {
-            "schema_version": SCHEMA_VERSION,
+            "schema_version": (EXPLICIT_BASIS_SCHEMA_VERSION
+                               if explicit else SCHEMA_VERSION),
             "cache_key": key,
             "npz_sha256": hashlib.sha256(payload).hexdigest(),
             "spec": record.spec.canonical(),
@@ -157,8 +176,10 @@ class SurrogateStore:
             "num_runs": int(record.num_runs),
             "wall_time": float(record.wall_time),
             "problem_signature": record.problem_signature,
-            "created_at": float(record.created_at or time.time()),
+            "created_at": created_at,
+            "last_used": created_at,
             "refinement": record.refinement,
+            "basis": record.pce.basis.describe(),
         }
         self._atomic_write(payload_path, payload)
         self._atomic_write(
@@ -230,10 +251,11 @@ class SurrogateStore:
             raise StoreCorruptionError(
                 f"unreadable sidecar for {key}: {exc}") from exc
         version = sidecar.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise StoreSchemaError(
                 f"entry {key} was written under schema {version!r}; "
-                f"this build reads schema {SCHEMA_VERSION}")
+                f"this build reads schemas "
+                f"{list(SUPPORTED_SCHEMA_VERSIONS)}")
         for name in ("cache_key", "npz_sha256", "spec"):
             if name not in sidecar:
                 raise StoreCorruptionError(
@@ -260,6 +282,86 @@ class SurrogateStore:
         warm-start lookup iterate over.
         """
         return self._read_sidecar(key)
+
+    def touch(self, key: str, when: float = None) -> None:
+        """Stamp ``last_used`` on an entry's sidecar (atomic).
+
+        Called by the serving layer on every cache hit so the
+        inventory (``repro store ls``) and future LRU eviction know
+        which entries still earn their disk.  Only the timestamp
+        changes — the spec (and hence the integrity rehash) is
+        untouched.  Missing or damaged entries are silently skipped:
+        usage bookkeeping must never turn a read into an error.
+
+        Concurrency: the sidecar is re-read immediately before the
+        write, but a concurrent ``save`` of the same key (a
+        ``--rebuild`` racing a hit) can still lose its sidecar to
+        this rewrite.  The stale sidecar then mismatches the new
+        payload's checksum, which reads as damage — and damage
+        self-heals into a rebuild at the next ``ensure_surrogate`` —
+        so the race costs a spurious rebuild, never wrong statistics.
+        """
+        try:
+            sidecar = self._read_sidecar(key)
+        except (StoreCorruptionError, StoreSchemaError):
+            return
+        if sidecar is None:
+            return
+        sidecar["last_used"] = float(when if when is not None
+                                     else time.time())
+        _, sidecar_path = self._paths(key)
+        self._atomic_write(
+            sidecar_path,
+            (canonical_json(sidecar) + "\n").encode("utf-8"))
+
+    def inventory(self) -> list:
+        """Metadata listing of every complete entry, newest use first.
+
+        Built on :meth:`sidecar` — array payloads are never loaded, so
+        listing a store of thousands of surrogates costs thousands of
+        small JSON reads, not gigabytes of npz.  Each entry carries
+        ``key``, ``preset``, ``reduction`` (``"adaptive"`` or
+        ``"level-N"``), ``basis`` (the stored basis identity; order-2
+        total-degree is assumed for entries written before basis
+        specs existed), ``size_bytes`` (payload file size),
+        ``num_runs``, ``created_at`` and ``last_used``.  Damaged
+        entries are reported as ``{"key", "damaged"}`` rows instead of
+        raising — an inventory must list the store it has, not the
+        store it wishes it had.
+        """
+        entries = []
+        for key in self.keys():
+            payload_path, _ = self._paths(key)
+            try:
+                sidecar = self._read_sidecar(key)
+            except (StoreCorruptionError, StoreSchemaError) as exc:
+                entries.append({"key": key, "damaged": str(exc)})
+                continue
+            if sidecar is None:
+                continue
+            spec = sidecar.get("spec") or {}
+            reduction = spec.get("reduction") or {}
+            adaptive = reduction.get("adaptive")
+            created = float(sidecar.get("created_at", 0.0))
+            try:
+                size_bytes = payload_path.stat().st_size
+            except OSError:
+                size_bytes = 0
+            entries.append({
+                "key": key,
+                "preset": spec.get("preset"),
+                "reduction": ("adaptive" if adaptive is not None
+                              else f"level-{reduction.get('level', 2)}"),
+                "basis": sidecar.get("basis") or {
+                    "kind": "total-degree", "order": 2, "size": None},
+                "size_bytes": int(size_bytes),
+                "num_runs": int(sidecar.get("num_runs", 0)),
+                "created_at": created,
+                "last_used": float(sidecar.get("last_used", created)),
+            })
+        entries.sort(key=lambda entry: (-entry.get("last_used", 0.0),
+                                        entry["key"]))
+        return entries
 
     def _read(self, key: str) -> SurrogateRecord | None:
         payload_path, _ = self._paths(key)

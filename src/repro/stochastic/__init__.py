@@ -8,7 +8,9 @@ model, and the Monte-Carlo reference driver.
 
 from repro.stochastic.hermite import (
     hermite_value,
+    hermite_values_upto,
     hermite_norm_squared,
+    hermite_triple_product,
     multi_indices_upto,
     HermiteBasis,
 )
@@ -19,7 +21,7 @@ from repro.stochastic.sparse_grid import (
     paper_point_count,
     tensor_grid,
 )
-from repro.stochastic.pce import QuadraticPCE
+from repro.stochastic.pce import PolynomialChaos, QuadraticPCE
 from repro.stochastic.pfa import pfa_reduce, ReductionMap
 from repro.stochastic.wpfa import wpfa_reduce
 from repro.stochastic.reduction import ReducedSpace, reduce_groups
@@ -34,7 +36,9 @@ from repro.stochastic.sobol import (
 
 __all__ = [
     "hermite_value",
+    "hermite_values_upto",
     "hermite_norm_squared",
+    "hermite_triple_product",
     "multi_indices_upto",
     "HermiteBasis",
     "gauss_hermite_rule",
@@ -42,6 +46,7 @@ __all__ = [
     "smolyak_sparse_grid",
     "paper_point_count",
     "tensor_grid",
+    "PolynomialChaos",
     "QuadraticPCE",
     "pfa_reduce",
     "wpfa_reduce",

@@ -1,43 +1,84 @@
-"""Probabilists' Hermite polynomials and the quadratic chaos basis.
+"""Probabilists' Hermite polynomials and multivariate chaos bases.
 
 The paper expands the unknown vector in D-dimensional Hermite
 polynomials up to second order (eq. 4) and recovers mean/variance from
 the coefficients (eq. 5).  The probabilists' normalization is used:
 ``He_0 = 1``, ``He_1 = x``, ``He_2 = x^2 - 1`` with
 ``<He_k^2> = k!`` under the standard Gaussian weight.
+
+Beyond the paper's quadratic basis, :class:`HermiteBasis` also accepts
+an *explicit* multi-index set — the order-adaptive truncations the
+dimension-adaptive engine derives from its accepted level indices
+(``repro.adaptive``) — and the 1-D helpers
+(:func:`hermite_values_upto`, :func:`hermite_triple_product`) cover
+the higher orders those bases need.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import StochasticError
 
 
-def hermite_value(order: int, x):
-    """Probabilists' Hermite polynomial ``He_order`` evaluated at ``x``.
+def hermite_values_upto(order: int, x) -> np.ndarray:
+    """All ``He_0 .. He_order`` at ``x``, stacked on a new leading axis.
 
-    Uses the stable three-term recurrence
-    ``He_{k+1} = x He_k - k He_{k-1}``.
+    One pass of the three-term recurrence
+    ``He_{k+1} = x He_k - k He_{k-1}`` — forward-stable for the
+    moderate orders a collocation basis uses (the recurrence
+    coefficients are exact small integers, so no cancellation beyond
+    the polynomials' own conditioning enters).  Returns shape
+    ``(order + 1,) + shape(x)``.
     """
     if order < 0:
         raise StochasticError(f"order must be >= 0, got {order}")
     x = np.asarray(x, dtype=float)
-    if order == 0:
-        return np.ones_like(x)
-    prev = np.ones_like(x)
-    cur = x.copy()
+    values = np.empty((order + 1,) + x.shape)
+    values[0] = 1.0
+    if order >= 1:
+        values[1] = x
     for k in range(1, order):
-        prev, cur = cur, x * cur - k * prev
-    return cur
+        values[k + 1] = x * values[k] - k * values[k - 1]
+    return values
+
+
+def hermite_value(order: int, x):
+    """Probabilists' Hermite polynomial ``He_order`` evaluated at ``x``."""
+    return hermite_values_upto(order, x)[order]
 
 
 def hermite_norm_squared(multi_index) -> float:
     """``<He_i1 ... He_iD ^2>`` under the standard Gaussian = prod(i_k!)."""
     return float(np.prod([math.factorial(int(i)) for i in multi_index]))
+
+
+def hermite_triple_product(i: int, j: int, k: int) -> float:
+    """``<He_i He_j He_k>`` under the standard Gaussian weight.
+
+    The linearization formula: with ``s = (i + j + k) / 2``,
+
+        ``<He_i He_j He_k> = i! j! k! / ((s-i)! (s-j)! (s-k)!)``
+
+    when ``i + j + k`` is even and the triangle inequality
+    ``s >= max(i, j, k)`` holds, else 0.  These are the Galerkin
+    coupling coefficients of products of chaos expansions.
+    """
+    for order in (i, j, k):
+        if order < 0:
+            raise StochasticError(f"order must be >= 0, got {order}")
+    total = i + j + k
+    if total % 2:
+        return 0.0
+    s = total // 2
+    if s < max(i, j, k):
+        return 0.0
+    return (math.factorial(i) * math.factorial(j) * math.factorial(k)
+            / (math.factorial(s - i) * math.factorial(s - j)
+               * math.factorial(s - k)))
 
 
 def multi_indices_upto(dim: int, order: int) -> list:
@@ -68,21 +109,79 @@ def _compositions(dim: int, total: int) -> list:
     return out
 
 
+def _validated_indices(dim: int, indices) -> list:
+    """Normalize an explicit multi-index set: int tuples, deduped,
+    sorted by (total degree, lexicographic) with the constant first."""
+    seen = set()
+    out = []
+    for index in indices:
+        index = tuple(int(a) for a in index)
+        if len(index) != dim or any(a < 0 for a in index):
+            raise StochasticError(
+                f"basis index must be {dim} non-negative orders, "
+                f"got {index}")
+        if index in seen:
+            continue
+        seen.add(index)
+        out.append(index)
+    if (0,) * dim not in seen:
+        raise StochasticError(
+            "an explicit basis must contain the constant index "
+            "(the mean is its coefficient)")
+    return sorted(out, key=lambda a: (sum(a), a))
+
+
 @dataclass
 class HermiteBasis:
-    """A multivariate Hermite basis of fixed dimension and order."""
+    """A multivariate Hermite basis.
+
+    Parameters
+    ----------
+    dim:
+        Number of stochastic directions.
+    order:
+        Total-degree truncation (the paper's basis is ``order=2``).
+        Ignored when ``indices`` is given.
+    indices:
+        Optional *explicit* multi-index set (anisotropic / order-
+        adaptive truncation).  Normalized to graded-lexicographic
+        order with the constant index first; ``order`` then reports
+        the largest total degree present.  ``truncation`` records
+        which flavor was built (``"total"`` or ``"explicit"``).
+    """
 
     dim: int
     order: int = 2
+    indices: list = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        self.indices = multi_indices_upto(self.dim, self.order)
+        if self.indices is None:
+            self.indices = multi_indices_upto(self.dim, self.order)
+            self.truncation = "total"
+        else:
+            if self.dim < 1:
+                raise StochasticError(
+                    f"dim must be >= 1, got {self.dim}")
+            self.indices = _validated_indices(self.dim, self.indices)
+            self.truncation = "explicit"
+            self.order = max(sum(index) for index in self.indices)
         self.norms_squared = np.array(
             [hermite_norm_squared(ix) for ix in self.indices])
+        self._max_axis_order = max(
+            max(index) for index in self.indices)
 
     @property
     def size(self) -> int:
         return len(self.indices)
+
+    def describe(self) -> dict:
+        """JSON-ready basis identity for sidecars and responses."""
+        return {
+            "kind": ("total-degree" if self.truncation == "total"
+                     else "explicit"),
+            "order": int(self.order),
+            "size": int(self.size),
+        }
 
     def evaluate(self, points: np.ndarray) -> np.ndarray:
         """Design matrix ``(num_points, size)`` of basis values.
@@ -95,12 +194,7 @@ class HermiteBasis:
             raise StochasticError(
                 f"points must have {self.dim} columns, got {points.shape}")
         # Precompute 1-D values for each order and dimension once.
-        max_order = self.order
-        per_order = [np.ones_like(points)]
-        if max_order >= 1:
-            per_order.append(points.copy())
-        for k in range(1, max_order):
-            per_order.append(points * per_order[k] - k * per_order[k - 1])
+        per_order = hermite_values_upto(self._max_axis_order, points)
         out = np.empty((points.shape[0], self.size))
         for col, index in enumerate(self.indices):
             vals = np.ones(points.shape[0])

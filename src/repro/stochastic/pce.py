@@ -1,10 +1,18 @@
-"""Quadratic polynomial-chaos expansion — the paper's statistical model.
+"""Polynomial-chaos expansions — the paper's statistical model, grown.
 
 The SSCM produces coefficients ``x_alpha`` of the expansion (paper
 eq. 4); the mean is the zeroth coefficient and the variance is
 ``sum x_alpha^2 <He_alpha^2>`` (paper eq. 5).  A fitted
-:class:`QuadraticPCE` is also a cheap surrogate: it can be evaluated and
-Monte-Carlo-sampled at negligible cost, which the ablation benches use.
+:class:`PolynomialChaos` is also a cheap surrogate: it can be evaluated
+and Monte-Carlo-sampled at negligible cost, which the ablation benches
+use.
+
+The paper's model is the order-2 total-degree chaos
+(:class:`QuadraticPCE`, kept as an alias so every stored surrogate and
+serving path keeps working); the class itself carries *any*
+:class:`~repro.stochastic.hermite.HermiteBasis`, including the
+explicit order-adaptive truncations the dimension-adaptive engine
+derives from its accepted index set.
 """
 
 from __future__ import annotations
@@ -21,13 +29,14 @@ from repro.stochastic.hermite import HermiteBasis
 DEFAULT_CHUNK_SIZE = 16384
 
 
-class QuadraticPCE:
+class PolynomialChaos:
     """Hermite PC expansion of a vector-valued quantity of interest.
 
     Parameters
     ----------
     basis:
-        The multivariate Hermite basis.
+        The multivariate Hermite basis — total-degree (any order) or
+        an explicit anisotropic index set.
     coefficients:
         ``(basis.size, output_dim)`` array of expansion coefficients.
     output_names:
@@ -56,7 +65,7 @@ class QuadraticPCE:
     @classmethod
     def fit_quadrature(cls, basis: HermiteBasis, points: np.ndarray,
                        weights: np.ndarray, values: np.ndarray,
-                       output_names=None) -> "QuadraticPCE":
+                       output_names=None) -> "PolynomialChaos":
         """Spectral projection: ``x_a = sum_k w_k f(z_k) He_a(z_k) / <He_a^2>``."""
         points = np.asarray(points, dtype=float)
         weights = np.asarray(weights, dtype=float)
@@ -74,7 +83,7 @@ class QuadraticPCE:
     @classmethod
     def fit_regression(cls, basis: HermiteBasis, points: np.ndarray,
                        values: np.ndarray,
-                       output_names=None) -> "QuadraticPCE":
+                       output_names=None) -> "PolynomialChaos":
         """Least-squares fit (robust alternative when weights are noisy)."""
         points = np.asarray(points, dtype=float)
         values = np.asarray(values, dtype=float)
@@ -208,25 +217,42 @@ class QuadraticPCE:
     def to_arrays(self) -> dict:
         """Serializable form: plain arrays + scalars (npz-friendly).
 
-        Inverse of :meth:`from_arrays`; the basis is reconstructed from
-        ``(dim, order)``, so only the coefficients carry payload.
+        Inverse of :meth:`from_arrays`.  A total-degree basis is
+        reconstructed from ``(dim, order)`` alone — the exact layout
+        every pre-existing stored surrogate uses — while an explicit
+        (order-adaptive) basis additionally carries its multi-index
+        set as a ``(size, dim)`` integer array.
         """
         arrays = {
             "dim": np.int64(self.basis.dim),
             "order": np.int64(self.basis.order),
             "coefficients": self.coefficients,
         }
+        if self.basis.truncation != "total":
+            arrays["basis_indices"] = np.asarray(self.basis.indices,
+                                                 dtype=np.int64)
         if self.output_names is not None:
             arrays["output_names"] = np.asarray(self.output_names,
                                                 dtype=np.str_)
         return arrays
 
     @classmethod
-    def from_arrays(cls, arrays: dict) -> "QuadraticPCE":
-        """Rebuild a PCE from :meth:`to_arrays` output."""
+    def from_arrays(cls, arrays: dict) -> "PolynomialChaos":
+        """Rebuild a PCE from :meth:`to_arrays` output.
+
+        Entries without ``basis_indices`` (every surrogate stored
+        before order-adaptive bases existed) load exactly as before:
+        a total-degree basis of the stored ``(dim, order)``.
+        """
         try:
-            basis = HermiteBasis(int(arrays["dim"]),
-                                 order=int(arrays["order"]))
+            dim = int(arrays["dim"])
+            if "basis_indices" in arrays:
+                index_rows = np.asarray(arrays["basis_indices"])
+                basis = HermiteBasis(
+                    dim, indices=[tuple(int(a) for a in row)
+                                  for row in index_rows])
+            else:
+                basis = HermiteBasis(dim, order=int(arrays["order"]))
             coefficients = np.asarray(arrays["coefficients"], dtype=float)
         except KeyError as exc:
             raise StochasticError(
@@ -235,3 +261,10 @@ class QuadraticPCE:
         if names is not None:
             names = [str(name) for name in np.asarray(names)]
         return cls(basis, coefficients, output_names=names)
+
+
+#: The paper's order-2 chaos by its historical name.  Every module that
+#: grew up against the quadratic model (serving, stores, benches) keeps
+#: importing ``QuadraticPCE``; it *is* :class:`PolynomialChaos`, which
+#: defaults to the order-2 total-degree basis.
+QuadraticPCE = PolynomialChaos

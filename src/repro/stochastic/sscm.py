@@ -55,7 +55,8 @@ class SSCMResult:
 
 def run_sscm(solve_fn, dim: int, output_names=None, order: int = 2,
              level: int = 2, grid: SparseGrid = None,
-             fit: str = "quadrature", progress=None) -> SSCMResult:
+             fit: str = "quadrature", progress=None,
+             solve_many=None) -> SSCMResult:
     """Build the quadratic statistical model by sparse-grid collocation.
 
     Parameters
@@ -78,22 +79,38 @@ def run_sscm(solve_fn, dim: int, output_names=None, order: int = 2,
         ``"regression"`` (least squares on the same points).
     progress:
         Optional callable ``(completed, total) -> None``.
+    solve_many:
+        Optional batched evaluator ``(n, dim) points -> (n, outputs)``
+        — the whole fixed grid is one wave, so a
+        :class:`~repro.analysis.parallel.ParallelWaveEvaluator` plugs
+        in unchanged (bitwise-identical to the per-point loop, which
+        stays the default).
     """
     if grid is None:
         grid = smolyak_sparse_grid(dim, level=level)
     if grid.dim != dim:
         raise StochasticError(
             f"grid dimension {grid.dim} does not match dim {dim}")
-    values = []
     start = time.perf_counter()
     total = grid.num_points
-    for k, point in enumerate(grid.points):
-        values.append(np.atleast_1d(np.asarray(solve_fn(point),
-                                               dtype=float)))
+    if solve_many is not None:
+        values = np.atleast_2d(np.asarray(solve_many(grid.points),
+                                          dtype=float))
+        if values.shape[0] != total:
+            raise StochasticError(
+                f"solve_many returned {values.shape[0]} rows for "
+                f"{total} points")
         if progress is not None:
-            progress(k + 1, total)
+            progress(total, total)
+    else:
+        values = []
+        for k, point in enumerate(grid.points):
+            values.append(np.atleast_1d(np.asarray(solve_fn(point),
+                                                   dtype=float)))
+            if progress is not None:
+                progress(k + 1, total)
+        values = np.vstack(values)
     wall = time.perf_counter() - start
-    values = np.vstack(values)
 
     basis = HermiteBasis(dim, order=order)
     if fit == "quadrature":

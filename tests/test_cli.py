@@ -122,3 +122,75 @@ class TestServingCli:
         assert main(["query", str(path), "--store",
                      str(tmp_path / "store")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestStoreLsCli:
+    REQUEST = TestServingCli.REQUEST
+
+    def _populate(self, tmp_path, capsys):
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(self.REQUEST))
+        store = str(tmp_path / "store")
+        assert main(["build", str(path), "--store", store]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        assert main(["store", "ls", "--store",
+                     str(tmp_path / "store")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_ls_lists_entries(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        assert main(["store", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert "table1" in out
+        assert "level-2" in out
+        assert "basis=total-degree:2" in out
+
+    def test_ls_json(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        assert main(["store", "ls", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"] == store
+        entry = payload["entries"][0]
+        assert entry["preset"] == "table1"
+        assert entry["reduction"] == "level-2"
+        assert entry["basis"]["kind"] == "total-degree"
+        assert entry["size_bytes"] > 0
+        assert entry["num_runs"] > 0
+        assert entry["last_used"] >= entry["created_at"]
+
+    def test_hits_refresh_last_used(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        path = tmp_path / "request.json"
+
+        def last_used():
+            assert main(["store", "ls", "--store", store,
+                         "--json"]) == 0
+            return json.loads(
+                capsys.readouterr().out)["entries"][0]["last_used"]
+
+        # Rewind the stamp to the epoch, then serve a cache hit: the
+        # hit must move it strictly forward (a vacuous >= would pass
+        # even with the refresh deleted).
+        from repro.serving import SurrogateStore
+        live = SurrogateStore(store)
+        live.touch(live.keys()[0], when=1.0)
+        assert last_used() == 1.0
+        assert main(["query", str(path), "--store", store]) == 0
+        capsys.readouterr()
+        assert last_used() > 1.0
+
+    def test_ls_marks_damaged_entries(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        from pathlib import Path
+        sidecar = next(Path(store).glob("*.json"))
+        sidecar.write_text(sidecar.read_text()[:20])
+        assert main(["store", "ls", "--store", store]) == 0
+        assert "DAMAGED" in capsys.readouterr().out
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["store"])

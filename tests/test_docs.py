@@ -16,7 +16,8 @@ from repro.__main__ import main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-SUBCOMMANDS = ("info", "structures", "solve", "build", "query")
+SUBCOMMANDS = ("info", "structures", "solve", "build", "query",
+               "store")
 
 
 def _doc_files():

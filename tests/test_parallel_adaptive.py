@@ -291,6 +291,42 @@ class TestParallelWaveEvaluator:
         with pytest.raises(StochasticError):
             ParallelWaveEvaluator(_builder, object(), num_workers=0)
 
+    def test_fixed_grid_workers_require_problem_builder(self):
+        from repro.analysis import run_sscm_analysis
+
+        with pytest.raises(StochasticError):
+            run_sscm_analysis(_builder(), energy=1.0,
+                              max_variables_by_group={"doping": 2},
+                              workers=2)
+
+    def test_fixed_grid_workers_validated(self):
+        from repro.analysis import run_sscm_analysis
+
+        for bad in (0, -1, True, 1.5):
+            with pytest.raises(StochasticError):
+                run_sscm_analysis(_builder(), workers=bad,
+                                  problem_builder=_builder)
+
+    def test_parallel_fixed_grid_bitwise_equals_serial(self):
+        """ROADMAP item: the level-2 grid is one big wave for the
+        existing evaluator — identical bits, just more processes."""
+        from repro.analysis import run_sscm_analysis
+
+        serial = run_sscm_analysis(
+            _builder(), energy=1.0,
+            max_variables_by_group={"doping": 3})
+        parallel = run_sscm_analysis(
+            _builder(), energy=1.0,
+            max_variables_by_group={"doping": 3},
+            workers=2, problem_builder=_builder)
+        assert parallel.num_runs == serial.num_runs
+        assert np.array_equal(parallel.sscm.pce.coefficients,
+                              serial.sscm.pce.coefficients)
+        assert np.array_equal(parallel.mean, serial.mean)
+        assert np.array_equal(parallel.std, serial.std)
+        assert parallel.refinement_metadata() is None
+        assert parallel.basis_metadata() == serial.basis_metadata()
+
     def test_parallel_build_bitwise_equals_serial(self):
         from repro.analysis import run_sscm_analysis
 
@@ -320,18 +356,24 @@ class TestCliOverlay:
     def _args(self, **overrides):
         import argparse
         defaults = {"adaptive": False, "tol": None, "max_solves": None,
-                    "max_level": None, "workers": None}
+                    "max_level": None, "basis": None, "workers": None}
         defaults.update(overrides)
         return argparse.Namespace(**defaults)
 
-    def test_workers_flag_implies_adaptive(self):
+    def test_workers_flag_stays_execution_only(self):
+        """--workers parallelizes whatever build the spec asks for —
+        it lands at the reduction level and no longer flips a
+        fixed-grid spec into an adaptive build."""
         from repro.__main__ import _overlay_adaptive
         from repro.experiments import table2_spec
 
         spec = table2_spec(rdf_nodes=8)
         overlaid = _overlay_adaptive(spec, self._args(workers=4))
-        assert overlaid.reduction["adaptive"]["workers"] == 4
-        assert overlaid.analysis_kwargs()["refinement"].workers == 4
+        assert "adaptive" not in overlaid.reduction
+        assert overlaid.reduction["workers"] == 4
+        kwargs = overlaid.analysis_kwargs()
+        assert kwargs["refinement"] is None
+        assert kwargs["workers"] == 4
 
     def test_workers_flag_keeps_cache_key(self):
         from repro.__main__ import _overlay_adaptive
@@ -340,6 +382,31 @@ class TestCliOverlay:
         spec = table2_spec(rdf_nodes=8, adaptive={"tol": 1e-3})
         overlaid = _overlay_adaptive(spec, self._args(workers=4))
         assert overlaid.cache_key() == spec.cache_key()
+
+    def test_workers_flag_reaches_adaptive_builds(self):
+        """An adaptive spec + --workers: the knob flows through the
+        reduction level into the build (the adaptive block's own
+        workers entry, when present, wins)."""
+        from repro.__main__ import _overlay_adaptive
+        from repro.experiments import table2_spec
+
+        spec = table2_spec(rdf_nodes=8, adaptive={"tol": 1e-3})
+        overlaid = _overlay_adaptive(spec, self._args(workers=4))
+        kwargs = overlaid.analysis_kwargs()
+        assert kwargs["refinement"].workers is None
+        assert kwargs["workers"] == 4
+
+    def test_basis_flag_implies_adaptive(self):
+        from repro.__main__ import _overlay_adaptive
+        from repro.experiments import table2_spec
+
+        spec = table2_spec(rdf_nodes=8)
+        overlaid = _overlay_adaptive(spec,
+                                     self._args(basis="adaptive"))
+        assert overlaid.reduction["adaptive"]["basis"] == "adaptive"
+        refinement = overlaid.analysis_kwargs()["refinement"]
+        assert refinement.basis == "adaptive"
+        assert overlaid.cache_key() != spec.cache_key()
 
     def test_no_flags_pass_spec_through(self):
         from repro.__main__ import _overlay_adaptive

@@ -206,10 +206,11 @@ class TestStoreRoundTrip:
             store.get(key)
 
     def test_stale_schema_rejected(self, store, synthetic_record):
+        from repro.serving.store import SUPPORTED_SCHEMA_VERSIONS
         key = store.save(synthetic_record)
         sidecar = store.root / f"{key}.json"
         meta = json.loads(sidecar.read_text())
-        meta["schema_version"] = SCHEMA_VERSION + 1
+        meta["schema_version"] = max(SUPPORTED_SCHEMA_VERSIONS) + 1
         sidecar.write_text(json.dumps(meta))
         with pytest.raises(StoreSchemaError, match="schema"):
             store.get(key)
