@@ -73,7 +73,7 @@ def test_order_adaptive_beats_fixed_order2(output_dir):
 
     # Same budget as the fixed grid; max_level=3 lets the dominant
     # direction refine past the level-2 simplex.
-    config = dict(tol=1e-4, max_level=3, max_solves=fixed.num_runs)
+    config = {"tol": 1e-4, "max_level": 3, "max_solves": fixed.num_runs}
     start = time.perf_counter()
     grown = run_adaptive_sscm(
         f, d, AdaptiveConfig(basis="adaptive", **config))
@@ -150,7 +150,7 @@ def test_basis_growth_is_stable_on_table2(profile, output_dir):
         else:
             caps[group.name] = srv["cap_small"]
 
-    stopping = dict(tol=1e-3, max_level=2)
+    stopping = {"tol": 1e-3, "max_level": 2}
     order2 = run_sscm_analysis(
         problem, max_variables_by_group=caps,
         refinement=AdaptiveConfig(**stopping))

@@ -47,7 +47,7 @@ def _build(name: str):
     except KeyError:
         raise SystemExit(
             f"unknown structure {name!r}; choose from "
-            f"{sorted(STRUCTURES)}")
+            f"{sorted(STRUCTURES)}") from None
 
 
 def _emit_json(payload) -> None:

@@ -104,7 +104,8 @@ class IncrementalGrid:
         try:
             return self._tensor[index]
         except KeyError:
-            raise StochasticError(f"index {index} is not registered")
+            raise StochasticError(
+                f"index {index} is not registered") from None
 
     # ------------------------------------------------------------------
     def combined_weights(self, indices) -> np.ndarray:

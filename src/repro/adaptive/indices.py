@@ -116,7 +116,7 @@ class MultiIndexSet:
 
 def is_downward_closed(indices) -> bool:
     """True when every backward neighbor of every index is present."""
-    index_set = set(tuple(ix) for ix in indices)
+    index_set = {tuple(ix) for ix in indices}
     for index in index_set:
         for axis, lv in enumerate(index):
             if lv > 0:
@@ -139,7 +139,7 @@ def combination_coefficients(indices) -> dict:
     closure), so the cost is ``2^|support|`` per member — indices are
     sparse (a few active directions), never ``2^dim``.
     """
-    index_set = set(tuple(int(lv) for lv in ix) for ix in indices)
+    index_set = {tuple(int(lv) for lv in ix) for ix in indices}
     if not index_set:
         raise StochasticError("index set is empty")
     if not is_downward_closed(index_set):

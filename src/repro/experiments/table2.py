@@ -37,6 +37,7 @@ TABLE2_PAPER_VALUES = {
 
 #: Contact order of the reported column.
 TABLE2_CONTACTS = ("tsv1", "tsv2", "w1", "w2", "w3", "w4")
+#: QoI row labels of the reported capacitance column, in paper order.
 TABLE2_ROW_NAMES = ("C_T1", "C_T1T2", "C_T1W1", "C_T1W2", "C_T1W3",
                     "C_T1W4")
 

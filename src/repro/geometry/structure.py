@@ -187,7 +187,7 @@ class Structure:
                  if isinstance(m, Semiconductor)]
         if not semis:
             raise MaterialError("structure has no semiconductor material")
-        if len(set(m.name for m in semis)) > 1:
+        if len({m.name for m in semis}) > 1:
             raise MaterialError(
                 "structure has multiple semiconductor materials; "
                 "query repro.materials directly")

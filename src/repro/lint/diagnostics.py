@@ -1,0 +1,71 @@
+"""Diagnostic records and output formatting for :mod:`repro.lint`.
+
+A :class:`Diagnostic` is one finding: file, 1-based line, 0-based
+column, rule id, severity and a human message.  Text output is the
+familiar ``path:line:col: RULE severity: message`` shape (one finding
+per line, stable sort), and :func:`format_json` emits the
+machine-readable document the CI annotation step and future tooling
+consume without parsing text.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+#: Findings with this severity fail the lint run (exit code 1).
+ERROR = "error"
+#: Reported but non-fatal unless ``--strict``.
+WARNING = "warning"
+
+SEVERITIES = (ERROR, WARNING)
+
+#: Version of the ``--json`` document layout.
+JSON_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a file position.
+
+    The field order (file, line, col, rule) doubles as the sort
+    order, so reports are deterministic regardless of rule execution
+    order.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+
+def counts(diagnostics) -> dict:
+    """``{"error": n, "warning": m}`` tally of a diagnostic list."""
+    tally = {ERROR: 0, WARNING: 0}
+    for diagnostic in diagnostics:
+        tally[diagnostic.severity] = tally.get(diagnostic.severity, 0) + 1
+    return tally
+
+
+def format_text(diagnostics) -> str:
+    """Human-readable report, one ``path:line:col`` finding per line."""
+    lines = [
+        f"{d.file}:{d.line}:{d.col}: {d.rule} {d.severity}: {d.message}"
+        for d in sorted(diagnostics)
+    ]
+    tally = counts(diagnostics)
+    if lines:
+        lines.append(
+            f"found {tally[ERROR]} error(s), {tally[WARNING]} warning(s)")
+    return "\n".join(lines)
+
+
+def format_json(diagnostics) -> str:
+    """Machine-readable report (sorted findings + counts)."""
+    return json.dumps({
+        "version": JSON_VERSION,
+        "counts": counts(diagnostics),
+        "diagnostics": [asdict(d) for d in sorted(diagnostics)],
+    }, indent=2, sort_keys=True)

@@ -1,0 +1,95 @@
+"""Rule registry for :mod:`repro.lint`.
+
+Rules register themselves at import time through the
+:func:`file_rule` / :func:`project_rule` decorators; the engine then
+runs every registered rule (or a ``--select`` subset) over the parsed
+tree(s).  A *file rule* sees one file at a time; a *project rule* sees
+the whole parsed module index at once (cross-module contracts such as
+export resolution or the strip-site registry need the full picture).
+
+Each rule carries an id (``RL###`` — stable, referenced by
+suppressions), a short kebab-case name, a severity and a one-line
+description shown by ``python -m repro.lint --list-rules``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.diagnostics import ERROR, SEVERITIES
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule.
+
+    ``check`` (file rules) takes a ``FileContext`` and yields
+    diagnostics; ``project_check`` (project rules) takes a mapping of
+    module name to ``FileContext``.  ``scope`` optionally restricts a
+    file rule to modules for which ``scope(module_name)`` is true —
+    the store-atomicity family, for example, only patrols the serving
+    layer.  Meta rules (suppression hygiene, parse errors) have
+    neither callable: the engine emits them itself.
+    """
+
+    id: str
+    name: str
+    severity: str
+    description: str
+    check: callable = None
+    project_check: callable = None
+    scope: callable = None
+
+
+_REGISTRY: dict = {}
+
+
+def _register(rule: Rule) -> Rule:
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule.id}")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"bad severity {rule.severity!r} for {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def meta_rule(id: str, name: str, severity: str,
+              description: str) -> Rule:
+    """Register a rule the engine itself emits (no checker callable)."""
+    return _register(Rule(id=id, name=name, severity=severity,
+                          description=description))
+
+
+def file_rule(id: str, name: str, description: str,
+              severity: str = ERROR, scope: callable = None):
+    """Decorator: register ``fn(ctx) -> iterable[Diagnostic]``."""
+    def decorate(fn):
+        _register(Rule(id=id, name=name, severity=severity,
+                       description=description, check=fn, scope=scope))
+        return fn
+    return decorate
+
+
+def project_rule(id: str, name: str, description: str,
+                 severity: str = ERROR):
+    """Decorator: register ``fn(index) -> iterable[Diagnostic]``."""
+    def decorate(fn):
+        _register(Rule(id=id, name=name, severity=severity,
+                       description=description, project_check=fn))
+        return fn
+    return decorate
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look a registered rule up by id (unknown ids raise KeyError)."""
+    return _REGISTRY[rule_id]
+
+
+def is_registered(rule_id: str) -> bool:
+    """True when ``rule_id`` names a registered rule."""
+    return rule_id in _REGISTRY
+
+
+def all_rules() -> list:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]

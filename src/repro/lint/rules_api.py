@@ -1,0 +1,256 @@
+"""Public-API drift rules (RL5xx).
+
+``__all__`` is the published contract: every name there must resolve
+to something real (through from-imports or the top-level package's
+lazy ``_EXPORTS`` table) and must carry documentation, or the API
+surface drifts — exports that raise ``AttributeError``, lazy-table
+entries missing from ``__all__``, documented-by-nobody entry points.
+Resolution chases re-export chains across the parsed module index, so
+the rule sees through ``repro/__init__`` -> ``repro.mesh`` ->
+``repro.mesh.grid``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import get_rule, project_rule
+
+_LAZY_TABLE_NAMES = ("_EXPORTS", "_LAZY_EXPORTS")
+_MAX_CHAIN = 8
+
+
+def _module_package(ctx):
+    """Package a module's relative imports resolve against."""
+    module = ctx.module or ""
+    if ctx.path.endswith("__init__.py"):
+        return module
+    return module.rsplit(".", 1)[0] if "." in module else ""
+
+
+def _resolve_relative(ctx, node: ast.ImportFrom):
+    if node.level == 0:
+        return node.module
+    package = _module_package(ctx)
+    parts = package.split(".") if package else []
+    ascend = node.level - 1
+    if ascend > len(parts):
+        return None
+    base = parts[:len(parts) - ascend]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) or None
+
+
+def module_exports(ctx) -> dict:
+    """Map of top-level name to ``(kind, payload)`` for one module.
+
+    Kinds: ``"def"`` (function/class node), ``"assign"`` (Assign
+    node), ``"import"`` (``(target_module, original_name)``),
+    ``"module"`` (a submodule import) and ``"lazy"`` (an entry of the
+    ``_EXPORTS`` table, payload ``(target_module, name)``).
+    """
+    exports = {}
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            exports[node.name] = ("def", node)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    exports[target.id] = ("assign", node)
+            if len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id in _LAZY_TABLE_NAMES \
+                    and isinstance(node.value, ast.Dict):
+                for key, value in zip(node.value.keys,
+                                      node.value.values):
+                    if isinstance(key, ast.Constant) \
+                            and isinstance(value, ast.Constant):
+                        exports[key.value] = (
+                            "lazy", (value.value, key.value))
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            exports[node.target.id] = ("assign", node)
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_relative(ctx, node)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                exports[local] = ("import", (target, alias.name))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                exports[local] = ("module", alias.name)
+    return exports
+
+
+def declared_all(ctx):
+    """``(names, node)`` from a literal ``__all__``, or ``None``.
+
+    Understands the lazy-package idiom ``[*_EXPORTS, "__version__"]``
+    by expanding the starred table's keys.
+    """
+    exports = None
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets) \
+                and isinstance(node.value, (ast.List, ast.Tuple)):
+            names = []
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) \
+                        and isinstance(element.value, str):
+                    names.append(element.value)
+                elif isinstance(element, ast.Starred) \
+                        and isinstance(element.value, ast.Name) \
+                        and element.value.id in _LAZY_TABLE_NAMES:
+                    if exports is None:
+                        exports = module_exports(ctx)
+                    names.extend(
+                        name for name, (kind, _) in exports.items()
+                        if kind == "lazy")
+            return names, node
+    return None
+
+
+def _is_init(ctx) -> bool:
+    return ctx.path.endswith("__init__.py") or ctx.module == "<init>"
+
+
+def _resolve(index, ctx, name, _depth=0):
+    """Chase ``name`` through re-export chains to its definition.
+
+    Returns ``(ctx, kind, payload)`` at the terminal, ``None`` when
+    the chain leaves the parsed index (external or partial lint — not
+    an error), or ``("missing", ctx, name)`` when a module in the
+    index genuinely lacks the name.
+    """
+    if _depth > _MAX_CHAIN:
+        return None
+    exports = module_exports(ctx)
+    if name not in exports:
+        return ("missing", ctx, name)
+    kind, payload = exports[name]
+    if kind in ("import", "lazy"):
+        target_module, original = payload
+        target_ctx = index.get(target_module)
+        if target_ctx is None:
+            return None
+        return _resolve(index, target_ctx, original, _depth + 1)
+    return (ctx, kind, payload)
+
+
+@project_rule(
+    "RL501", "export-drift",
+    "__all__ names a symbol that does not exist / resolve, is "
+    "duplicated, or the lazy export table disagrees with __all__")
+def check_export_drift(index):
+    rule = get_rule("RL501")
+    for ctx in index.values():
+        if not _is_init(ctx):
+            continue
+        declared = declared_all(ctx)
+        if declared is None:
+            continue
+        names, node = declared
+        seen = set()
+        for name in names:
+            if name in seen:
+                yield Diagnostic(
+                    file=ctx.path, line=node.lineno,
+                    col=node.col_offset, rule=rule.id,
+                    severity=rule.severity,
+                    message=f"__all__ lists {name!r} more than once")
+                continue
+            seen.add(name)
+            resolved = _resolve(index, ctx, name)
+            if resolved is not None and resolved[0] == "missing":
+                _, missing_ctx, missing = resolved
+                where = missing_ctx.module or missing_ctx.path
+                detail = "" if missing_ctx is ctx else \
+                    f" (chain dead-ends in {where} looking for " \
+                    f"{missing!r})"
+                yield Diagnostic(
+                    file=ctx.path, line=node.lineno,
+                    col=node.col_offset, rule=rule.id,
+                    severity=rule.severity,
+                    message=f"__all__ exports {name!r} but nothing "
+                            f"defines it{detail}; importing it would "
+                            f"raise at first use")
+        exports = module_exports(ctx)
+        for name, (kind, _) in exports.items():
+            if kind == "lazy" and name not in seen:
+                yield Diagnostic(
+                    file=ctx.path, line=node.lineno,
+                    col=node.col_offset, rule=rule.id,
+                    severity=rule.severity,
+                    message=f"lazy export table lists {name!r} but "
+                            f"__all__ does not; the public surface "
+                            f"and the table must agree")
+
+
+def _has_attribute_doc(target_ctx, node) -> bool:
+    """Attribute docs: a string statement after the assign, a ``#:``
+    comment above it, or a trailing ``#:`` on the same line."""
+    body = getattr(getattr(node, "parent", None), "body", None)
+    if body and node in body:
+        position = body.index(node)
+        if position + 1 < len(body):
+            following = body[position + 1]
+            if isinstance(following, ast.Expr) \
+                    and isinstance(following.value, ast.Constant) \
+                    and isinstance(following.value.value, str):
+                return True
+    for line in (node.lineno - 1, node.lineno):
+        comment = target_ctx.comments.get(line, "")
+        if comment.startswith("#:"):
+            return True
+    return False
+
+
+@project_rule(
+    "RL502", "undocumented-export",
+    "a name exported through __init__.py resolves to a definition "
+    "with no docstring")
+def check_undocumented_export(index):
+    rule = get_rule("RL502")
+    reported = set()
+    for ctx in index.values():
+        if not _is_init(ctx):
+            continue
+        declared = declared_all(ctx)
+        if declared is None:
+            continue
+        names, _ = declared
+        for name in names:
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            resolved = _resolve(index, ctx, name)
+            if resolved is None or resolved[0] == "missing":
+                continue  # RL501's problem
+            target_ctx, kind, payload = resolved
+            if kind == "module":
+                continue
+            key = (target_ctx.path, name)
+            if key in reported:
+                continue
+            if kind == "def":
+                if ast.get_docstring(payload) is not None:
+                    continue
+                line, col = payload.lineno, payload.col_offset
+                what = "docstring"
+            else:  # assign
+                if _has_attribute_doc(target_ctx, payload):
+                    continue
+                line, col = payload.lineno, payload.col_offset
+                what = "'#:' comment or attribute docstring"
+            reported.add(key)
+            yield Diagnostic(
+                file=target_ctx.path, line=line, col=col,
+                rule=rule.id, severity=rule.severity,
+                message=f"{name!r} is exported through "
+                        f"{ctx.module or ctx.path} but has no {what}; "
+                        f"public API must document itself")

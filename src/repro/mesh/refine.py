@@ -39,7 +39,7 @@ def axis_from_breakpoints(breakpoints, max_step: float) -> np.ndarray:
     max_step:
         Upper bound on the cell size [m].
     """
-    breakpoints = np.asarray(sorted(set(float(b) for b in breakpoints)))
+    breakpoints = np.asarray(sorted({float(b) for b in breakpoints}))
     if breakpoints.size < 2:
         raise MeshError("need at least two distinct breakpoints")
     if max_step <= 0.0:

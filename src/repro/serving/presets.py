@@ -44,6 +44,7 @@ _REGISTRY: dict = {}
 
 
 def register_preset(preset: Preset) -> Preset:
+    """Add a preset to the registry (duplicate names are an error)."""
     if preset.name in _REGISTRY:
         raise ServingError(f"preset {preset.name!r} is already registered")
     _REGISTRY[preset.name] = preset
@@ -51,14 +52,17 @@ def register_preset(preset: Preset) -> Preset:
 
 
 def get_preset(name: str) -> Preset:
+    """Look a preset up by name (unknown names are a ServingError)."""
     try:
         return _REGISTRY[name]
     except KeyError:
         raise ServingError(
-            f"unknown preset {name!r}; registered: {sorted(_REGISTRY)}")
+            f"unknown preset {name!r}; registered: "
+            f"{sorted(_REGISTRY)}") from None
 
 
 def list_presets() -> list:
+    """Every registered preset, sorted by name."""
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
 

@@ -30,6 +30,7 @@ DEFAULT_STORE_PATH = "~/.cache/repro/surrogates"
 
 
 def open_store(path=None) -> SurrogateStore:
+    """Open (creating if needed) the store at ``path`` or the default."""
     return SurrogateStore(path or DEFAULT_STORE_PATH)
 
 
@@ -131,6 +132,8 @@ def load_request_file(path) -> dict:
     try:
         return json.loads(path.read_text())
     except OSError as exc:
-        raise ServingError(f"cannot read request file {path}: {exc}")
+        raise ServingError(
+            f"cannot read request file {path}: {exc}") from exc
     except ValueError as exc:
-        raise ServingError(f"request file {path} is not JSON: {exc}")
+        raise ServingError(
+            f"request file {path} is not JSON: {exc}") from exc

@@ -202,7 +202,7 @@ class TestOrderAdaptiveFit:
         """The basis changes the fit, never the grid: identical
         accepted sets, solve counts and termination either way."""
         f, _, _ = _cubic_plus()
-        kwargs = dict(tol=1e-8, max_level=3)
+        kwargs = {"tol": 1e-8, "max_level": 3}
         order2 = run_adaptive_sscm(f, 3, AdaptiveConfig(**kwargs))
         adaptive = run_adaptive_sscm(
             f, 3, AdaptiveConfig(basis="adaptive", **kwargs))
