@@ -53,6 +53,7 @@ PROFILES = {
             "cap_small": 1, "cap_merged": 1, "cap_doping": 1,
             "query_samples": 100000,
         },
+        "daemon": {"store_entries": 1000, "concurrent_queries": 4},
     },
     "paper": {
         "table1": {
@@ -80,6 +81,7 @@ PROFILES = {
             "cap_small": 4, "cap_merged": 6, "cap_doping": 6,
             "query_samples": 1000000,
         },
+        "daemon": {"store_entries": 4000, "concurrent_queries": 8},
     },
 }
 

@@ -7,7 +7,9 @@ Usage::
     python -m repro solve metalplug       # nominal coupled solve
     python -m repro build request.json    # build/fetch surrogates
     python -m repro query request.json    # answer statistical queries
+    python -m repro serve --port 8787     # always-on JSON/HTTP daemon
     python -m repro store ls              # surrogate store inventory
+    python -m repro store gc --max-entries 100   # LRU eviction
 
 ``build`` and ``query`` take JSON request files (see
 :mod:`repro.serving.service`) and emit JSON responses on stdout, so the
@@ -18,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 
 from repro.errors import ReproError
@@ -209,8 +212,8 @@ def cmd_build(args) -> int:
 
 def cmd_store_ls(args) -> int:
     import time as _time
-    from repro.serving import open_store
-    store = open_store(args.store)
+    from repro.daemon import open_indexed_store
+    store = open_indexed_store(args.store)
     entries = store.inventory()
     if args.json:
         _emit_json({"store": str(store.root), "entries": entries})
@@ -236,6 +239,59 @@ def cmd_store_ls(args) -> int:
     print(format_kv_block(
         rows, title=f"surrogate store {store.root} "
                     f"({len(entries)} entries)"))
+    return 0
+
+
+def cmd_store_gc(args) -> int:
+    from repro.daemon import open_indexed_store, run_gc
+    store = open_indexed_store(args.store)
+    report = run_gc(store, max_entries=args.max_entries,
+                    max_bytes=args.max_bytes, dry_run=args.dry_run)
+    if args.json:
+        _emit_json(report)
+        return 0
+    verb = "would evict" if args.dry_run else "evicted"
+    rows = [
+        ("store", report["store"]),
+        ("caps", f"entries<={args.max_entries}  "
+                 f"bytes<={args.max_bytes}"),
+        ("before", f"{report['before']['entries']} entries, "
+                   f"{report['before']['bytes']} B"),
+        ("after", f"{report['after']['entries']} entries, "
+                  f"{report['after']['bytes']} B"),
+        (verb, str(len(report["evicted"]))),
+    ]
+    if report["skipped_in_use"]:
+        rows.append(("skipped (in use)",
+                     str(len(report["skipped_in_use"]))))
+    if report["damaged"]:
+        rows.append(("damaged (kept)", str(len(report["damaged"]))))
+    print(format_kv_block(rows, title="store gc"))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import signal
+    from repro.daemon import ReproDaemon
+    daemon = ReproDaemon(store_path=args.store, host=args.host,
+                         port=args.port,
+                         build_missing=not args.no_build)
+    host, port = daemon.address
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(message)s")
+
+    def _stop(signum, frame):
+        # shutdown() blocks until serve_forever returns, so it must
+        # run off the serving thread the signal interrupted.
+        import threading
+        threading.Thread(target=daemon.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(f"repro daemon listening on http://{host}:{port} "
+          f"(store {daemon.store.root})", flush=True)
+    daemon.serve_forever()
     return 0
 
 
@@ -331,6 +387,22 @@ def main(argv=None) -> int:
                          help="fail on a cache miss instead of building")
     p_query.set_defaults(func=cmd_query)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the always-on surrogate daemon (JSON over HTTP)")
+    p_serve.add_argument("--store", default=None,
+                         help="surrogate store directory "
+                              "(default ~/.cache/repro/surrogates)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default 8787)")
+    p_serve.add_argument("--no-build", action="store_true",
+                         help="serve read-only: cache misses become "
+                              "per-request errors, zero solves run")
+    p_serve.set_defaults(func=cmd_serve)
+
     p_store = sub.add_parser(
         "store",
         help="inspect the surrogate store")
@@ -345,6 +417,27 @@ def main(argv=None) -> int:
     p_store_ls.add_argument("--json", action="store_true",
                             help="machine-readable output")
     p_store_ls.set_defaults(func=cmd_store_ls)
+    p_store_gc = store_sub.add_parser(
+        "gc",
+        help="evict least-recently-used surrogates until the store "
+             "fits under the caps (safe against a live daemon)")
+    p_store_gc.add_argument("--store", default=None,
+                            help="surrogate store directory "
+                                 "(default ~/.cache/repro/surrogates)")
+    p_store_gc.add_argument("--max-entries", type=int, default=None,
+                            help="keep at most N entries (>= 1; the "
+                                 "most-recently-used entry always "
+                                 "survives)")
+    p_store_gc.add_argument("--max-bytes", type=int, default=None,
+                            help="keep at most N payload bytes (best "
+                                 "effort: the MRU entry survives even "
+                                 "when it alone exceeds the cap)")
+    p_store_gc.add_argument("--dry-run", action="store_true",
+                            help="plan and report without deleting "
+                                 "anything")
+    p_store_gc.add_argument("--json", action="store_true",
+                            help="machine-readable report")
+    p_store_gc.set_defaults(func=cmd_store_gc)
 
     args = parser.parse_args(argv)
     try:

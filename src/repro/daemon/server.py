@@ -1,0 +1,262 @@
+"""The always-on surrogate service: JSON over HTTP, stdlib only.
+
+``repro serve`` wraps the batch front-end
+(:func:`~repro.serving.service.serve_batch`) in a
+:class:`http.server.ThreadingHTTPServer`, so clients stop paying
+process startup per query and concurrent misses stop paying duplicate
+builds:
+
+* every build-on-miss routes through an in-process
+  :class:`~repro.daemon.singleflight.SingleFlight` table (K concurrent
+  misses on one spec -> one solve campaign) on top of the
+  cross-process advisory lock ``ensure_surrogate`` already takes;
+* the store is opened with its sqlite index
+  (:mod:`~repro.daemon.index`), so inventory and warm-start lookups
+  stay indexed at thousands of entries;
+* per-request isolation is inherited from ``serve_batch``: a bad spec
+  or a failed solve errors that request, never the batch, and an
+  unexpected exception errors that HTTP request, never the server.
+
+Endpoints (all JSON):
+
+=======  ==========  ==================================================
+method   path        answer
+=======  ==========  ==================================================
+GET      /health     liveness: status, uptime, store path, entry count
+GET      /stats      request/build/coalesce/hit/error counters
+GET      /store      the store inventory (indexed listing)
+POST     /query      a serve_batch request/batch document
+POST     /shutdown   graceful stop (responds, then stops accepting)
+=======  ==========  ==================================================
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError, ServingError
+from repro.daemon.index import open_indexed_store
+from repro.daemon.singleflight import SingleFlight
+from repro.serving.pipeline import BuildReport, ensure_surrogate
+from repro.serving.service import serve_batch
+
+logger = logging.getLogger("repro.daemon")
+
+#: Largest accepted request body; a query document is small, and a
+#: bound here keeps a misbehaving client from ballooning the process.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ReproDaemon:
+    """One serving process: store + index + single-flight + HTTP.
+
+    Parameters
+    ----------
+    store_path : str or pathlib.Path, optional
+        Store directory (default: the CLI's default store).  Opened
+        with the sqlite index when the filesystem allows it.
+    host, port : str, int
+        Bind address.  ``port=0`` picks an ephemeral port (tests);
+        the bound address is available as :attr:`address`.
+    build_missing : bool, default True
+        Build surrogates on cache misses.  ``False`` serves read-only:
+        misses become per-request errors and zero solves ever run.
+    warm_start : bool, default True
+        Allow stored siblings to seed adaptive builds.
+    engine_options : dict, optional
+        Per-query :class:`~repro.serving.query.QueryEngine` overrides
+        (``num_samples``, ``seed``, ``chunk_size``).
+    """
+
+    def __init__(self, store_path=None, host="127.0.0.1", port=0,
+                 build_missing=True, warm_start=True,
+                 engine_options=None):
+        self.store = open_indexed_store(store_path)
+        self.build_missing = bool(build_missing)
+        self.warm_start = bool(warm_start)
+        self.engine_options = engine_options
+        self.flights = SingleFlight()
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "requests": 0, "queries": 0, "errors": 0,
+            "builds": 0, "build_solves": 0,
+            "coalesced_builds": 0, "hits": 0,
+        }
+        self._started = time.monotonic()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        return self._httpd.server_address[:2]
+
+    def start(self) -> None:
+        """Serve in a background thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-daemon",
+            daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting, finish in-flight handlers, close the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] += amount
+
+    def stats(self) -> dict:
+        """A JSON-ready counter snapshot (the ``/stats`` document)."""
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            **counters,
+            "uptime_s": time.monotonic() - self._started,
+            "in_flight_builds": self.flights.in_flight(),
+            "entries": len(self.store.keys()),
+            "store": str(self.store.root),
+            "build_missing": self.build_missing,
+        }
+
+    # ------------------------------------------------------------------
+    def _ensure(self, spec) -> BuildReport:
+        """The single-flight ``ensure`` seam handed to ``serve_batch``.
+
+        Concurrent misses on one cache key coalesce: the leader runs
+        ``ensure_surrogate`` (which holds the cross-process build
+        lock), followers block on the flight and share its report —
+        a coalesced response therefore reports the build it waited
+        for, including its solve count.
+        """
+        key = spec.cache_key()
+        if not self.build_missing:
+            record = self.store.load(key)
+            self.store.touch(key)
+            self._count("hits")
+            return BuildReport(record=record, built=False,
+                               num_solves=0, wall_time=0.0)
+        report, leader = self.flights.do(
+            key,
+            lambda: ensure_surrogate(spec, self.store,
+                                     warm_start=self.warm_start))
+        if not leader:
+            self._count("coalesced_builds" if report.built else "hits")
+        elif report.built:
+            self._count("builds")
+            self._count("build_solves", report.num_solves)
+        else:
+            self._count("hits")
+        return report
+
+    def handle_query(self, batch: dict) -> dict:
+        """Answer one ``/query`` document (the serve_batch contract)."""
+        result = serve_batch(batch, self.store,
+                             build_missing=self.build_missing,
+                             engine_options=self.engine_options,
+                             ensure=self._ensure)
+        responses = result["responses"]
+        self._count("queries", len(responses))
+        failed = sum(1 for r in responses if "error" in r)
+        if failed:
+            self._count("errors", failed)
+        return result
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs to the owning :class:`ReproDaemon`."""
+
+    server_version = "repro-daemon"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ReproDaemon:
+        return self.server.app
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        logger.info("%s %s", self.address_string(), format % args)
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServingError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw or b"{}")
+        except ValueError as exc:
+            raise ServingError(f"request body is not JSON: {exc}") \
+                from exc
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        self.app._count("requests")
+        try:
+            if self.path == "/health":
+                app = self.app
+                self._send(200, {
+                    "status": "ok",
+                    "uptime_s": time.monotonic() - app._started,
+                    "store": str(app.store.root),
+                    "entries": len(app.store.keys()),
+                })
+            elif self.path == "/stats":
+                self._send(200, self.app.stats())
+            elif self.path == "/store":
+                self._send(200, {
+                    "store": str(self.app.store.root),
+                    "entries": self.app.store.inventory(),
+                })
+            else:
+                self._send(404, {"error": f"no route {self.path!r}"})
+        except Exception as exc:  # per-request isolation
+            logger.exception("GET %s failed", self.path)
+            self.app._count("errors")
+            self._send(500, {"error": str(exc)})
+
+    def do_POST(self) -> None:
+        self.app._count("requests")
+        try:
+            if self.path == "/query":
+                batch = self._read_body()
+                self._send(200, self.app.handle_query(batch))
+            elif self.path == "/shutdown":
+                self._send(200, {"status": "shutting down"})
+                threading.Thread(target=self.server.shutdown,
+                                 daemon=True).start()
+            else:
+                self._send(404, {"error": f"no route {self.path!r}"})
+        except ReproError as exc:
+            # Malformed document / read-only miss at the top level:
+            # the client's fault, say so with a 400.
+            self.app._count("errors")
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # per-request isolation
+            logger.exception("POST %s failed", self.path)
+            self.app._count("errors")
+            self._send(500, {"error": str(exc)})

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.adaptive.driver import WarmStart
 from repro.analysis.runner import run_sscm_analysis
+from repro.daemon.singleflight import build_lock
 from repro.errors import (
     StochasticError,
     StoreCorruptionError,
@@ -57,6 +58,16 @@ def _warm_start_for(spec: ProblemSpec, store: SurrogateStore):
     if found is None:
         return None
     source, sidecar = found
+    # The match is relaxed across chaos-basis variants (refinement is
+    # basis-independent); record a relaxed seed as such, so the
+    # sidecar's warm_start_source documents that the source fit a
+    # different basis than this build will.
+    stored_adaptive = ((sidecar.get("spec") or {}).get("reduction")
+                       or {}).get("adaptive") or {}
+    target_adaptive = spec.canonical()["reduction"].get("adaptive") \
+        or {}
+    if stored_adaptive.get("basis") != target_adaptive.get("basis"):
+        source = f"{source}:basis-relaxed"
     try:
         return WarmStart.from_refinement(sidecar["refinement"],
                                          source=source)
@@ -150,25 +161,54 @@ def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
     -------
     BuildReport
         The record plus what this call actually did and cost.
+
+    Notes
+    -----
+    The miss path is single-flight across processes: an advisory
+    per-key file lock (``<store>/.locks/<key>.lock``) serializes
+    concurrent builds of the same spec, and the store is re-checked
+    after acquiring, so the losers of the race return the winner's
+    entry as a plain hit instead of repeating the solve campaign.
+    Hits never touch the lock.  ``rebuild=True`` still builds after
+    acquiring (a forced rebuild distrusts whatever the winner wrote).
     """
     key = spec.cache_key()
     start = time.perf_counter()
     replaced_damaged = False
-    if not rebuild:
+
+    def check_hit():
+        nonlocal replaced_damaged
+        if rebuild:
+            return None
         try:
             record = store.get(key)
         except (StoreCorruptionError, StoreSchemaError):
-            record = None
             replaced_damaged = True
+            return None
+        return record
+
+    record = check_hit()
+    if record is not None:
+        # Usage bookkeeping for the inventory / LRU eviction: a hit
+        # refreshes the entry's last_used stamp.
+        store.touch(key)
+        return BuildReport(record=record, built=False, num_solves=0,
+                           wall_time=time.perf_counter() - start)
+    # Miss: serialize the build across processes with an advisory
+    # per-key lock, so N processes racing the same missing spec run
+    # one solve campaign — the losers block here, re-check, and find
+    # the winner's entry (a hit, zero solves).  In-process stampedes
+    # coalesce one layer up, in the daemon's single-flight table.
+    with build_lock(store.root, key):
+        record = check_hit()
         if record is not None:
-            # Usage bookkeeping for the inventory / future LRU
-            # eviction: a hit refreshes the entry's last_used stamp.
             store.touch(key)
-            return BuildReport(record=record, built=False, num_solves=0,
+            return BuildReport(record=record, built=False,
+                               num_solves=0,
                                wall_time=time.perf_counter() - start)
-    record = build_surrogate(spec, progress=progress, store=store,
-                             warm_start=warm_start and not rebuild)
-    store.save(record)
+        record = build_surrogate(spec, progress=progress, store=store,
+                                 warm_start=warm_start and not rebuild)
+        store.save(record)
     # One solve per collocation point, plus the nominal solve when the
     # wPFA needed its weights.
     nominal = 1 if spec.resolved_reduction()["method"] == "wpfa" else 0

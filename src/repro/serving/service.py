@@ -53,10 +53,20 @@ def parse_request(data: dict) -> tuple:
 
 def serve_request(request: dict, store: SurrogateStore,
                   build_missing: bool = True,
-                  engine_options: dict = None) -> dict:
-    """Answer one request; builds the surrogate on a miss by default."""
+                  engine_options: dict = None, ensure=None) -> dict:
+    """Answer one request; builds the surrogate on a miss by default.
+
+    ``ensure`` overrides the acquisition step: a callable
+    ``ensure(spec) -> BuildReport`` that replaces both the
+    build-on-miss and the read-only path — the daemon hands in its
+    single-flight wrapper here, so concurrent misses coalesce.
+    """
     spec, queries = parse_request(request)
-    if build_missing:
+    if ensure is not None:
+        report = ensure(spec)
+        record, built, num_solves = (report.record, report.built,
+                                     report.num_solves)
+    elif build_missing:
         report = ensure_surrogate(spec, store)
         record, built, num_solves = (report.record, report.built,
                                      report.num_solves)
@@ -79,7 +89,7 @@ def serve_request(request: dict, store: SurrogateStore,
 
 def serve_batch(batch: dict, store: SurrogateStore,
                 build_missing: bool = True,
-                engine_options: dict = None) -> dict:
+                engine_options: dict = None, ensure=None) -> dict:
     """Answer a multi-surrogate batch in one call.
 
     Parameters
@@ -97,6 +107,10 @@ def serve_batch(batch: dict, store: SurrogateStore,
         Keyword overrides for every
         :class:`~repro.serving.query.QueryEngine` (``num_samples``,
         ``seed``, ``chunk_size``).
+    ensure : callable, optional
+        ``ensure(spec) -> BuildReport`` surrogate-acquisition
+        override, passed through to every request (the daemon's
+        single-flight hook).
 
     Returns
     -------
@@ -119,7 +133,7 @@ def serve_batch(batch: dict, store: SurrogateStore,
         try:
             responses.append(serve_request(
                 request, store, build_missing=build_missing,
-                engine_options=engine_options))
+                engine_options=engine_options, ensure=ensure))
         except ReproError as exc:
             # Any library error — bad spec, unbuildable structure,
             # failed solve — fails this request only, not the batch.

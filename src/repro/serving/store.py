@@ -140,9 +140,15 @@ class SurrogateStore:
                       and p.with_suffix(".npz").exists())
 
     def delete(self, key: str) -> None:
-        for path in self._paths(key):
-            if path.exists():
+        """Remove an entry; sidecar first, so a racing reader sees a
+        clean miss (no sidecar) instead of a sidecar whose payload
+        vanishes under it.  This is what GC eviction rides on."""
+        payload_path, sidecar_path = self._paths(key)
+        for path in (sidecar_path, payload_path):
+            try:
                 path.unlink()
+            except FileNotFoundError:
+                pass
 
     # ------------------------------------------------------------------
     def save(self, record: SurrogateRecord) -> str:
@@ -339,26 +345,11 @@ class SurrogateStore:
                 continue
             if sidecar is None:
                 continue
-            spec = sidecar.get("spec") or {}
-            reduction = spec.get("reduction") or {}
-            adaptive = reduction.get("adaptive")
-            created = float(sidecar.get("created_at", 0.0))
             try:
                 size_bytes = payload_path.stat().st_size
             except OSError:
                 size_bytes = 0
-            entries.append({
-                "key": key,
-                "preset": spec.get("preset"),
-                "reduction": ("adaptive" if adaptive is not None
-                              else f"level-{reduction.get('level', 2)}"),
-                "basis": sidecar.get("basis") or {
-                    "kind": "total-degree", "order": 2, "size": None},
-                "size_bytes": int(size_bytes),
-                "num_runs": int(sidecar.get("num_runs", 0)),
-                "created_at": created,
-                "last_used": float(sidecar.get("last_used", created)),
-            })
+            entries.append(inventory_row(key, sidecar, size_bytes))
         entries.sort(key=lambda entry: (-entry.get("last_used", 0.0),
                                         entry["key"]))
         return entries
@@ -370,7 +361,13 @@ class SurrogateStore:
         sidecar = self._read_sidecar(key)
         if sidecar is None:
             return None
-        payload = payload_path.read_bytes()
+        try:
+            payload = payload_path.read_bytes()
+        except FileNotFoundError:
+            # The entry was deleted (GC eviction, concurrent rm)
+            # between the existence check and the read: a clean miss,
+            # not corruption — the caller rebuilds if it cares.
+            return None
         digest = hashlib.sha256(payload).hexdigest()
         if digest != sidecar["npz_sha256"]:
             raise StoreCorruptionError(
@@ -414,6 +411,13 @@ class SurrogateStore:
         smallest relative Euclidean distance over the numeric
         parameters; ties break on the cache key for determinism.
 
+        The match is relaxed across chaos-``basis`` variants
+        (:func:`warm_reduction_signature`): refinement is
+        basis-independent — the basis only changes the final fit —
+        so an order-2 sibling may seed an order-adaptive build and
+        vice versa.  The pipeline records such a seed as
+        ``<key>:basis-relaxed`` in ``warm_start_source``.
+
         Parameters
         ----------
         spec : ProblemSpec
@@ -432,6 +436,7 @@ class SurrogateStore:
         target = spec.canonical()
         if target["reduction"].get("adaptive") is None:
             return None
+        target_signature = warm_reduction_signature(target["reduction"])
         own_key = spec.cache_key()
         best = None
         for key in self.keys():
@@ -450,7 +455,8 @@ class SurrogateStore:
             stored = sidecar["spec"]
             if stored.get("preset") != target["preset"]:
                 continue
-            if stored.get("reduction") != target["reduction"]:
+            if warm_reduction_signature(stored.get("reduction") or {}) \
+                    != target_signature:
                 continue
             distance = _param_distance(target["params"],
                                        stored.get("params") or {})
@@ -462,6 +468,53 @@ class SurrogateStore:
         if best is None:
             return None
         return best[1], best[2]
+
+
+def inventory_row(key: str, sidecar: dict, size_bytes: int) -> dict:
+    """One ``inventory()`` listing row from a validated sidecar.
+
+    Shared with the daemon's sqlite index, which caches these rows so
+    an indexed listing is *identical* (not just equivalent) to a full
+    sidecar scan — asserted in tests and in ``bench_daemon``.
+    """
+    spec = sidecar.get("spec") or {}
+    reduction = spec.get("reduction") or {}
+    adaptive = reduction.get("adaptive")
+    created = float(sidecar.get("created_at", 0.0))
+    return {
+        "key": key,
+        "preset": spec.get("preset"),
+        "reduction": ("adaptive" if adaptive is not None
+                      else f"level-{reduction.get('level', 2)}"),
+        "basis": sidecar.get("basis") or {
+            "kind": "total-degree", "order": 2, "size": None},
+        "size_bytes": int(size_bytes),
+        "num_runs": int(sidecar.get("num_runs", 0)),
+        "created_at": created,
+        "last_used": float(sidecar.get("last_used", created)),
+    }
+
+
+def warm_reduction_signature(reduction: dict) -> dict:
+    """A canonical reduction block with the chaos ``basis`` relaxed.
+
+    Warm starts transfer the *refinement* state (accepted indices +
+    indicators), and refinement is basis-independent: the ``basis``
+    mode only changes the final projection, never the grids, solves or
+    termination.  Two reduction blocks that differ only in the
+    adaptive ``basis`` therefore describe warm-compatible builds, and
+    this signature — the block with ``basis`` dropped — is what
+    ``find_warm_start`` (and the daemon's sqlite index) match on.
+    The stopping controls (``tol``/``max_solves``/``max_level``) stay
+    in the signature: a looser-tol source never certifies a tighter
+    build.
+    """
+    adaptive = reduction.get("adaptive")
+    if not isinstance(adaptive, dict):
+        return dict(reduction)
+    relaxed = {name: value for name, value in adaptive.items()
+               if name != "basis"}
+    return {**reduction, "adaptive": relaxed}
 
 
 def _param_distance(target: dict, stored: dict):

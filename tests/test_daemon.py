@@ -1,0 +1,519 @@
+"""Tests of the repro.daemon subsystem.
+
+The daemon's three contracts, each exercised where it can actually
+break:
+
+* **single-flight** — K concurrent misses on one spec cost one solve
+  campaign, both in-process (the daemon's keyed-future table) and
+  cross-process (the advisory build lock under ``ensure_surrogate``);
+* **the index is a cache** — indexed listings are identical to the
+  sidecar scan, survive deletion of the sqlite file, and track
+  out-of-band sidecar edits/deletions (disk wins, always);
+* **GC is live-safe** — strictly LRU, the MRU entry is immortal,
+  entries being built or hit since planning are skipped, and the
+  store passes its own corruption checks afterwards.
+"""
+
+import json
+import multiprocessing
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.daemon import (
+    INDEX_DB_NAME,
+    IndexedSurrogateStore,
+    ReproDaemon,
+    SingleFlight,
+    open_indexed_store,
+    plan_gc,
+    release_lock,
+    run_gc,
+    try_build_lock,
+)
+from repro.daemon.index import StoreIndex
+from repro.errors import ServingError
+from repro.experiments import table1_spec
+from repro.serving import (
+    ProblemSpec,
+    SurrogateRecord,
+    SurrogateStore,
+    ensure_surrogate,
+)
+from repro.stochastic.hermite import HermiteBasis
+from repro.stochastic.pce import QuadraticPCE
+
+TINY_PARAMS = {"max_step_um": 2.0, "rdf_nodes": 6}
+TINY_REDUCTION = {"caps": {"doping": 1}, "energy": 0.9}
+
+
+def tiny_spec() -> ProblemSpec:
+    return table1_spec("doping", reduction=dict(TINY_REDUCTION),
+                       **TINY_PARAMS)
+
+
+def fabricated_record(preset="table2", refinement=None, **params):
+    """A cheap but fully valid store record (1-D surrogate payload)."""
+    basis = HermiteBasis(1, order=2)
+    pce = QuadraticPCE(basis, np.zeros((basis.size, 1)),
+                       output_names=["q"])
+    spec = ProblemSpec(preset=preset, params=params,
+                       reduction={"adaptive": {"tol": 1e-3}}
+                       if refinement is not None else {})
+    return SurrogateRecord(pce=pce, spec=spec, refinement=refinement)
+
+
+REFINEMENT = {
+    "accepted": [[0], [1]],
+    "accepted_indicators": [[[0], 1.0], [[1], 0.5]],
+    "trace": [],
+    "error_estimate": 1e-5,
+    "termination": "tol",
+}
+
+
+# ----------------------------------------------------------------------
+# Single-flight: in-process
+
+
+class TestSingleFlight:
+    def test_concurrent_calls_coalesce_to_one_execution(self):
+        flights = SingleFlight()
+        calls = []
+        gate = threading.Event()
+
+        def build():
+            calls.append(1)
+            gate.wait(timeout=5.0)
+            return "payload"
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(
+                flights.do("key", build)))
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Let every follower reach the flight table, then open the gate.
+        while flights.in_flight() == 0:
+            pass
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        assert len(calls) == 1
+        assert len(results) == 8
+        assert all(value == "payload" for value, _ in results)
+        assert sum(1 for _, leader in results if leader) == 1
+        assert flights.in_flight() == 0
+
+    def test_sequential_calls_each_execute(self):
+        flights = SingleFlight()
+        calls = []
+        for _ in range(3):
+            value, leader = flights.do("key", lambda: calls.append(1))
+            assert leader
+        assert len(calls) == 3
+
+    def test_leader_error_propagates_to_all_waiters(self):
+        flights = SingleFlight()
+        gate = threading.Event()
+
+        def explode():
+            gate.wait(timeout=5.0)
+            raise ServingError("boom")
+
+        failures = []
+
+        def call():
+            try:
+                flights.do("key", explode)
+            except ServingError as exc:
+                failures.append(str(exc))
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        while flights.in_flight() == 0:
+            pass
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert failures == ["boom"] * 4
+        # A failed flight is cleared: the next call runs afresh.
+        value, leader = flights.do("key", lambda: "recovered")
+        assert (value, leader) == ("recovered", True)
+
+    def test_distinct_keys_do_not_coalesce(self):
+        flights = SingleFlight()
+        calls = []
+        flights.do("a", lambda: calls.append("a"))
+        flights.do("b", lambda: calls.append("b"))
+        assert calls == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Single-flight: cross-process (the advisory build lock)
+
+
+def _race_build(store_path, spec_dict, barrier, queue):
+    """Module-level worker: build the spec, report what happened."""
+    spec = ProblemSpec.from_dict(spec_dict)
+    store = SurrogateStore(store_path)
+    barrier.wait(timeout=30.0)
+    report = ensure_surrogate(spec, store)
+    queue.put((report.built, report.num_solves))
+
+
+class TestCrossProcessBuildLock:
+    def test_two_processes_racing_one_spec_build_once(self, tmp_path):
+        spec = tiny_spec()
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(2)
+        queue = ctx.Queue()
+        workers = [
+            ctx.Process(target=_race_build,
+                        args=(str(tmp_path / "store"), spec.to_dict(),
+                              barrier, queue))
+            for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        reports = [queue.get(timeout=120.0) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=30.0)
+
+        built_flags = sorted(built for built, _ in reports)
+        assert built_flags == [False, True]
+        # The loser found the winner's entry: a hit, zero solves.
+        assert all(solves == 0 for built, solves in reports
+                   if not built)
+        store = SurrogateStore(tmp_path / "store")
+        assert store.keys() == [spec.cache_key()]
+
+    def test_try_build_lock_sees_a_held_lock(self, tmp_path):
+        held = try_build_lock(tmp_path, "k" * 64)
+        assert held is not None
+        # flock state belongs to the open file description, so a
+        # second descriptor contends even within one process.
+        assert try_build_lock(tmp_path, "k" * 64) is None
+        release_lock(held)
+        again = try_build_lock(tmp_path, "k" * 64)
+        assert again is not None
+        release_lock(again)
+
+
+# ----------------------------------------------------------------------
+# The sqlite index
+
+
+class TestStoreIndex:
+    def _populated(self, tmp_path, count=4):
+        store = IndexedSurrogateStore(tmp_path / "store")
+        for i in range(count):
+            key = store.save(fabricated_record(margin_um=1.0 + i))
+            store.touch(key, when=1.0e9 + i)
+        return store
+
+    def test_indexed_inventory_identical_to_scan(self, tmp_path):
+        store = self._populated(tmp_path)
+        scan = SurrogateStore(store.root).inventory()
+        assert store.inventory() == scan
+        assert len(scan) == 4
+
+    def test_deleting_the_index_file_self_heals(self, tmp_path):
+        store = self._populated(tmp_path)
+        before = store.inventory()
+        (store.root / INDEX_DB_NAME).unlink()
+        # Same handle: the next read recreates schema and rows.
+        assert store.inventory() == before
+        # Fresh handle (daemon restart): same story.
+        reopened = IndexedSurrogateStore(store.root)
+        assert reopened.inventory() == before
+        assert (store.root / INDEX_DB_NAME).exists()
+
+    def test_corrupted_index_file_self_heals(self, tmp_path):
+        store = self._populated(tmp_path)
+        before = store.inventory()
+        for suffix in ("", "-wal", "-shm"):
+            path = Path(f"{store.root / INDEX_DB_NAME}{suffix}")
+            if path.exists():
+                path.write_bytes(b"not a database")
+        reopened = IndexedSurrogateStore(store.root)
+        assert reopened.inventory() == before
+
+    def test_manual_sidecar_deletion_is_tracked(self, tmp_path):
+        store = self._populated(tmp_path)
+        victim = store.inventory()[-1]["key"]
+        (store.root / f"{victim}.json").unlink()
+        (store.root / f"{victim}.npz").unlink()
+        keys = [row["key"] for row in store.inventory()]
+        assert victim not in keys and len(keys) == 3
+
+    def test_out_of_band_sidecar_edit_is_reread(self, tmp_path):
+        store = self._populated(tmp_path)
+        victim = store.inventory()[-1]["key"]
+        sidecar_path = store.root / f"{victim}.json"
+        sidecar_path.write_text(
+            sidecar_path.read_text().replace('"margin_um"', '"x"'))
+        rows = {row["key"]: row for row in store.inventory()}
+        assert "damaged" in rows[victim]
+        # The plain scan agrees entry-for-entry on damage.
+        scanned = {row["key"]: row
+                   for row in SurrogateStore(store.root).inventory()}
+        assert ("damaged" in scanned[victim]) and len(scanned) == 4
+
+    def test_indexed_warm_start_matches_scan(self, tmp_path):
+        store = IndexedSurrogateStore(tmp_path / "store")
+        for margin in (1.0, 2.5):
+            store.save(fabricated_record(refinement=REFINEMENT,
+                                         margin_um=margin))
+        target = ProblemSpec(preset="table2",
+                             params={"margin_um": 2.4},
+                             reduction={"adaptive": {"tol": 1e-3}})
+        indexed = store.find_warm_start(target)
+        scanned = SurrogateStore(store.root).find_warm_start(target)
+        assert indexed is not None
+        assert indexed[0] == scanned[0]
+        assert indexed[1]["refinement"]["accepted"] \
+            == scanned[1]["refinement"]["accepted"]
+
+    def test_refresh_is_incremental(self, tmp_path):
+        store = self._populated(tmp_path)
+        index = StoreIndex(store.root)
+        assert index.refresh(store) == 0  # nothing changed
+        store.save(fabricated_record(margin_um=9.0))
+        assert StoreIndex(store.root).count() == 5
+
+    def test_open_indexed_store_degrades_gracefully(self, tmp_path):
+        # Sqlite cannot open a directory as its database file; the
+        # store must still open and serve every read from the scan.
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / INDEX_DB_NAME).mkdir()
+        store = open_indexed_store(root)
+        key = store.save(fabricated_record(margin_um=1.0))
+        assert [row["key"] for row in store.inventory()] == [key]
+
+
+# ----------------------------------------------------------------------
+# GC
+
+
+class TestPlanGc:
+    def _rows(self, count=4):
+        # Inventory ordering: newest use first.
+        return [{"key": f"k{i}", "size_bytes": 100,
+                 "last_used": 1.0e9 - i} for i in range(count)]
+
+    def test_needs_a_cap(self):
+        with pytest.raises(ServingError):
+            plan_gc(self._rows())
+        with pytest.raises(ServingError):
+            plan_gc(self._rows(), max_entries=0)
+        with pytest.raises(ServingError):
+            plan_gc(self._rows(), max_bytes=-1)
+
+    def test_max_entries_evicts_oldest_first(self):
+        plan = plan_gc(self._rows(), max_entries=2)
+        assert [row["key"] for row in plan.evict] == ["k3", "k2"]
+        assert [row["key"] for row in plan.keep] == ["k0", "k1"]
+
+    def test_max_bytes_is_best_effort_lru(self):
+        plan = plan_gc(self._rows(), max_bytes=250)
+        assert [row["key"] for row in plan.evict] == ["k3", "k2"]
+        assert plan.keep_bytes == 200
+
+    def test_mru_entry_is_immortal(self):
+        plan = plan_gc(self._rows(), max_entries=1, max_bytes=0)
+        assert [row["key"] for row in plan.keep] == ["k0"]
+        assert len(plan.evict) == 3
+
+    def test_damaged_rows_are_surfaced_not_reaped(self):
+        rows = self._rows(3) + [{"key": "bad", "damaged": "torn",
+                                 "size_bytes": 0, "last_used": 0.0}]
+        plan = plan_gc(rows, max_entries=1)
+        assert [row["key"] for row in plan.damaged] == ["bad"]
+        assert all(row["key"] != "bad" for row in plan.evict)
+
+
+class TestRunGc:
+    def _populated(self, tmp_path, count=4):
+        store = IndexedSurrogateStore(tmp_path / "store")
+        keys = []
+        for i in range(count):
+            key = store.save(fabricated_record(margin_um=1.0 + i))
+            store.touch(key, when=1.0e9 + i)
+            keys.append(key)
+        return store, keys  # keys[-1] is the MRU
+
+    def test_evicts_to_cap_and_store_stays_healthy(self, tmp_path):
+        store, keys = self._populated(tmp_path)
+        report = run_gc(store, max_entries=2)
+        assert sorted(report["evicted"]) == sorted(keys[:2])
+        assert report["after"]["entries"] == 2
+        survivors = store.keys()
+        assert sorted(survivors) == sorted(keys[2:])
+        for key in survivors:  # full checksum + schema validation
+            assert store.get(key) is not None
+        # The indexed listing tracked the deletions.
+        assert len(store.inventory()) == 2
+
+    def test_dry_run_touches_nothing(self, tmp_path):
+        store, keys = self._populated(tmp_path)
+        report = run_gc(store, max_entries=1, dry_run=True)
+        assert len(report["evicted"]) == 3
+        assert report["dry_run"] is True
+        assert sorted(store.keys()) == sorted(keys)
+
+    def test_entry_being_built_is_skipped(self, tmp_path):
+        store, keys = self._populated(tmp_path)
+        victim = keys[0]  # the LRU entry: first on the evict list
+        held = try_build_lock(store.root, victim)
+        try:
+            report = run_gc(store, max_entries=2)
+        finally:
+            release_lock(held)
+        assert victim in report["skipped_in_use"]
+        assert victim in store.keys()
+
+    def test_entry_hit_since_planning_is_skipped(self, tmp_path):
+        store, keys = self._populated(tmp_path)
+        stale_inventory = store.inventory()
+        victim = keys[0]
+        store.touch(victim, when=2.0e9)  # the "racing cache hit"
+        store.inventory = lambda: stale_inventory
+        report = run_gc(store, max_entries=2)
+        assert victim in report["skipped_in_use"]
+        assert victim in SurrogateStore(store.root).keys()
+
+    def test_gc_against_live_daemon_store(self, tmp_path):
+        store, keys = self._populated(tmp_path)
+        daemon = ReproDaemon(store_path=store.root, port=0)
+        daemon.start()
+        try:
+            report = run_gc(IndexedSurrogateStore(store.root),
+                            max_entries=1)
+            assert len(report["evicted"]) == 3
+            host, port = daemon.address
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/store") as response:
+                entries = json.load(response)["entries"]
+            assert [row["key"] for row in entries] == [keys[-1]]
+        finally:
+            daemon.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The HTTP daemon
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        return response.status, json.load(response)
+
+
+def _post(url, document):
+    body = json.dumps(document).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=300.0) as response:
+        return response.status, json.load(response)
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    instance = ReproDaemon(store_path=tmp_path / "store", port=0)
+    instance.start()
+    host, port = instance.address
+    yield instance, f"http://{host}:{port}"
+    instance.shutdown()
+
+
+class TestDaemonHTTP:
+    def test_health_and_stats(self, daemon):
+        _, url = daemon
+        status, health = _get(url + "/health")
+        assert status == 200 and health["status"] == "ok"
+        assert health["entries"] == 0
+        status, stats = _get(url + "/stats")
+        assert status == 200
+        assert stats["builds"] == 0 and stats["requests"] >= 1
+
+    def test_unknown_route_is_404(self, daemon):
+        _, url = daemon
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_malformed_body_is_400(self, daemon):
+        _, url = daemon
+        request = urllib.request.Request(
+            url + "/query", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert excinfo.value.code == 400
+
+    def test_concurrent_identical_queries_build_once(self, daemon):
+        instance, url = daemon
+        document = {"spec": tiny_spec().to_dict(),
+                    "queries": [{"kind": "mean"}]}
+        results = []
+
+        def post():
+            results.append(_post(url + "/query", document))
+
+        threads = [threading.Thread(target=post) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300.0)
+
+        assert len(results) == 5
+        for status, payload in results:
+            assert status == 200
+            (response,) = payload["responses"]
+            assert "answers" in response and len(response["answers"]) == 1
+        stats = instance.stats()
+        assert stats["builds"] == 1
+        assert stats["coalesced_builds"] + stats["hits"] == 4
+        assert stats["errors"] == 0
+
+    def test_read_only_daemon_runs_zero_solves(self, tmp_path):
+        instance = ReproDaemon(store_path=tmp_path / "store", port=0,
+                               build_missing=False)
+        instance.start()
+        host, port = instance.address
+        try:
+            status, payload = _post(
+                f"http://{host}:{port}/query",
+                {"spec": tiny_spec().to_dict(), "queries": []})
+            assert status == 200
+            assert "error" in payload["responses"][0]
+            assert instance.stats()["builds"] == 0
+        finally:
+            instance.shutdown()
+        assert SurrogateStore(tmp_path / "store").keys() == []
+
+    def test_store_listing_reflects_builds(self, daemon):
+        instance, url = daemon
+        _post(url + "/query", {"spec": tiny_spec().to_dict(),
+                               "queries": []})
+        status, listing = _get(url + "/store")
+        assert status == 200
+        assert [row["key"] for row in listing["entries"]] \
+            == [tiny_spec().cache_key()]
+
+    def test_shutdown_endpoint_stops_the_server(self, tmp_path):
+        instance = ReproDaemon(store_path=tmp_path / "store", port=0)
+        instance.start()
+        host, port = instance.address
+        status, payload = _post(f"http://{host}:{port}/shutdown", {})
+        assert status == 200
+        assert payload["status"] == "shutting down"
+        instance._thread.join(timeout=10.0)
+        assert not instance._thread.is_alive()

@@ -472,6 +472,40 @@ class TestFindWarmStart:
         found = store.find_warm_start(target)
         assert found is not None and found[0] == stored.cache_key()
 
+    def test_basis_variant_does_not_block_matching(self, tmp_path):
+        # The accepted index set is basis-independent, so a surrogate
+        # fitted under the paper's quadratic truncation may seed an
+        # order-adaptive build of a sibling spec (and vice versa).
+        from repro.serving import SurrogateStore
+
+        store = SurrogateStore(tmp_path)
+        stored = self._spec(adaptive={"tol": 1e-3, "basis": "order2"},
+                            margin_um=2.5)
+        store.save(_tiny_record(stored, refinement=self.REFINEMENT))
+        target = self._spec(
+            adaptive={"tol": 1e-3, "basis": "adaptive"}, margin_um=2.6)
+        found = store.find_warm_start(target)
+        assert found is not None and found[0] == stored.cache_key()
+
+    def test_basis_relaxed_seed_is_recorded_as_such(self, tmp_path):
+        from repro.serving import SurrogateStore
+        from repro.serving.pipeline import _warm_start_for
+
+        store = SurrogateStore(tmp_path)
+        stored = self._spec(adaptive={"tol": 1e-3, "basis": "order2"},
+                            margin_um=2.5)
+        key = store.save(_tiny_record(stored,
+                                      refinement=self.REFINEMENT))
+
+        relaxed = _warm_start_for(
+            self._spec(adaptive={"tol": 1e-3, "basis": "adaptive"},
+                       margin_um=2.6), store)
+        assert relaxed.source == f"{key}:basis-relaxed"
+        exact = _warm_start_for(
+            self._spec(adaptive={"tol": 1e-3, "basis": "order2"},
+                       margin_um=2.6), store)
+        assert exact.source == key
+
     def test_no_match_cases(self, tmp_path):
         from repro.serving import SurrogateStore
 
