@@ -16,6 +16,7 @@ the second ``ensure_surrogate`` call performs *zero* deterministic
 solves — the instrumented solver count stays at 0.
 """
 
+import statistics
 import time
 
 import numpy as np
@@ -119,6 +120,113 @@ def test_warm_query_vs_cold_build(profile, output_dir, tmp_path,
         "query_samples": int(samples),
     })
     assert speedup >= 50.0
+
+
+def test_observability_zero_overhead(profile, output_dir, tmp_path):
+    """Default-on metrics must not tax the warm serving path.
+
+    The obs contract is zero overhead when nobody is looking: the
+    tracer is off by default, the hit path is untraced, and the only
+    instrumentation it runs is counter increments.  Three layers, from
+    exact to end-to-end:
+
+    1. *structural* — a warm hit activates no tracer (``timings`` is
+       ``None``) and touches nothing in the registry beyond the
+       store-traffic counters;
+    2. *direct <2% gate* — counter-increment cost (timed over 100k
+       calls) times the increments one warm trip performs must stay
+       under 2% of the trip's wall time.  This is the contract's
+       number, measured where it is statistically clean: the true
+       fraction is ~1e-4, and the estimator's noise is microseconds.
+    3. *end-to-end sanity* — interleaved A/B wall ratio (registry
+       enabled vs disabled), min-of-reps per round, median across
+       rounds.  Gated at 5%, not 2%: per-process layout/hash-seed
+       bias on this ~1.5 ms disk-touching path measures ±3% for
+       *identical* true cost (verified with pinned PYTHONHASHSEED),
+       so a tighter wall gate would flake without measuring anything.
+       ``check_bench`` applies the same absolute ceiling.
+    """
+    from repro.obs.metrics import REGISTRY, counter
+
+    spec = _serving_spec(profile)
+    store = SurrogateStore(tmp_path / "store")
+    ensure_surrogate(spec, store)
+    samples = profile["serving"]["query_samples"]
+
+    def warm_round_trip():
+        report = ensure_surrogate(spec, store)
+        engine = QueryEngine(report.record, num_samples=samples)
+        engine.mean()
+        engine.std()
+        return report
+
+    def observe(batch=12):
+        # One observation = a batch of round trips: a single trip is
+        # ~2 ms dominated by disk jitter (store.touch rewrites the
+        # sidecar), so batching averages the noise.
+        start = time.perf_counter()
+        for _ in range(batch):
+            warm_round_trip()
+        return time.perf_counter() - start
+
+    # --- structural: the hit path is untraced and touches only the
+    # store-traffic counters.
+    before = {m["name"]: m for m in REGISTRY.snapshot()}
+    report = warm_round_trip()
+    assert report.timings is None, "warm hit ran under a tracer"
+    after = {m["name"]: m for m in REGISTRY.snapshot()}
+    changed = {name for name in after
+               if after[name] != before.get(name)}
+    assert changed <= {"repro_store_hits_total"}, \
+        f"warm hit moved unexpected metrics: {sorted(changed)}"
+
+    # --- direct: increments per trip x cost per increment < 2% of
+    # the trip wall.
+    scratch = counter("repro_bench_scratch_total", "overhead probe")
+    calls = 100_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        scratch.inc()
+    inc_cost = (time.perf_counter() - start) / calls
+    hits = REGISTRY.counter("repro_store_hits_total",
+                            "ensure_surrogate store hits")
+    base = hits.total()
+    trips = 12
+    trip_wall = observe(trips) / trips
+    incs_per_trip = (hits.total() - base) / trips
+    direct_fraction = incs_per_trip * inc_cost / trip_wall
+    assert direct_fraction < 0.02, \
+        f"counter increments cost {direct_fraction:.2%} of a warm trip"
+
+    # --- end-to-end: A/B wall ratio, alternating lead, min-of-reps,
+    # median-of-rounds.
+    rounds, reps = 8, 3
+    ratios = []
+    for index in range(rounds):
+        pair = {"enabled": [], "disabled": []}
+        order = (True, False) if index % 2 else (False, True)
+        for _ in range(reps):
+            for mode in order:
+                if mode:
+                    pair["enabled"].append(observe())
+                else:
+                    REGISTRY.disable()
+                    try:
+                        pair["disabled"].append(observe())
+                    finally:
+                        REGISTRY.enable()
+        ratios.append(min(pair["enabled"]) / min(pair["disabled"]))
+    overhead = statistics.median(ratios)
+
+    write_bench_json(output_dir, "serving_overhead", {
+        "warm_obs_overhead": overhead,
+        "warm_obs_direct_overhead": 1.0 + direct_fraction,
+        "wall_ratio_spread": max(ratios) - min(ratios),
+        "rounds": rounds,
+        "query_samples": int(samples),
+    })
+    assert overhead < 1.05, \
+        f"observability overhead on the warm path: {overhead:.4f}x"
 
 
 def test_batch_queries_share_the_store(profile, tmp_path, solve_counter):

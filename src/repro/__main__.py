@@ -19,6 +19,7 @@ system is scriptable as a service.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import logging
 import sys
@@ -184,29 +185,47 @@ def cmd_build(args) -> int:
         specs = [ProblemSpec.from_dict(data)]
     specs = [_overlay_adaptive(spec, args) for spec in specs]
     store = open_store(args.store)
+    stack = contextlib.ExitStack()
+    tracer = None
+    if args.profile:
+        # One tracer across the whole invocation: every build's span
+        # tree lands in a single Chrome trace-event file.
+        from repro.obs import Tracer, activate
+        tracer = Tracer()
+        stack.enter_context(activate(tracer))
     reports = []
-    for spec in specs:
-        report = ensure_surrogate(spec, store, rebuild=args.rebuild,
-                                  warm_start=not args.no_warm_start)
-        entry = {
-            "cache_key": report.cache_key,
-            "preset": spec.preset,
-            "built": report.built,
-            "num_solves": report.num_solves,
-            "num_runs": report.record.num_runs,
-            "wall_time": report.wall_time,
-            "output_names": report.record.output_names,
-            "adaptive": report.record.refinement is not None,
-            "basis": report.record.pce.basis.describe(),
-        }
-        if report.record.refinement is not None:
-            refinement = report.record.refinement
-            entry["termination"] = refinement.get("termination")
-            entry["error_estimate"] = refinement.get("error_estimate")
-            entry["num_indices"] = len(refinement.get("indices") or [])
-            entry["warm_start_source"] = report.warm_start_source
-        reports.append(entry)
-    _emit_json({"store": str(store.root), "builds": reports})
+    with stack:
+        for spec in specs:
+            report = ensure_surrogate(
+                spec, store, rebuild=args.rebuild,
+                warm_start=not args.no_warm_start)
+            entry = {
+                "cache_key": report.cache_key,
+                "preset": spec.preset,
+                "built": report.built,
+                "num_solves": report.num_solves,
+                "num_runs": report.record.num_runs,
+                "wall_time": report.wall_time,
+                "timings": report.timings,
+                "output_names": report.record.output_names,
+                "adaptive": report.record.refinement is not None,
+                "basis": report.record.pce.basis.describe(),
+            }
+            if report.record.refinement is not None:
+                refinement = report.record.refinement
+                entry["termination"] = refinement.get("termination")
+                entry["error_estimate"] = \
+                    refinement.get("error_estimate")
+                entry["num_indices"] = \
+                    len(refinement.get("indices") or [])
+                entry["warm_start_source"] = report.warm_start_source
+            reports.append(entry)
+    out = {"store": str(store.root), "builds": reports}
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+        write_chrome_trace(args.profile, tracer)
+        out["profile"] = args.profile
+    _emit_json(out)
     return 0
 
 
@@ -275,10 +294,12 @@ def cmd_serve(args) -> int:
     from repro.daemon import ReproDaemon
     daemon = ReproDaemon(store_path=args.store, host=args.host,
                          port=args.port,
-                         build_missing=not args.no_build)
+                         build_missing=not args.no_build,
+                         access_log=args.access_log,
+                         quiet=args.quiet)
     host, port = daemon.address
     logging.basicConfig(
-        level=logging.INFO,
+        level=logging.WARNING if args.quiet else logging.INFO,
         format="%(asctime)s %(name)s %(message)s")
 
     def _stop(signum, frame):
@@ -375,6 +396,11 @@ def main(argv=None) -> int:
                          help="adaptive: refine from the root index "
                               "even when a stored sibling surrogate "
                               "could seed the build")
+    p_build.add_argument("--profile", default=None, metavar="TRACE",
+                         help="write a Chrome trace-event JSON of the "
+                              "build's span tree (open in "
+                              "chrome://tracing or Perfetto); never "
+                              "changes what is built or stored")
     p_build.set_defaults(func=cmd_build)
 
     p_query = sub.add_parser(
@@ -401,6 +427,13 @@ def main(argv=None) -> int:
     p_serve.add_argument("--no-build", action="store_true",
                          help="serve read-only: cache misses become "
                               "per-request errors, zero solves run")
+    p_serve.add_argument("--access-log", default=None, metavar="PATH",
+                         help="append one structured JSONL event per "
+                              "request (method, path, status, "
+                              "duration) to this file")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress per-request log lines; the "
+                              "access log still records")
     p_serve.set_defaults(func=cmd_serve)
 
     p_store = sub.add_parser(

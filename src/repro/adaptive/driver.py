@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import StochasticError
+from repro.obs.trace import span
 from repro.stochastic.hermite import HermiteBasis
 from repro.stochastic.pce import PolynomialChaos
 from repro.stochastic.sparse_grid import SparseGrid
@@ -532,18 +533,19 @@ def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
     def evaluate_wave(points: np.ndarray) -> None:
         if points.shape[0] == 0:
             return
-        if solve_many is not None:
-            block = np.asarray(solve_many(points), dtype=float)
-            block = np.atleast_2d(block)
-            if block.shape[0] != points.shape[0]:
-                raise StochasticError(
-                    f"solve_many returned {block.shape[0]} rows for "
-                    f"{points.shape[0]} points")
-            values_rows.extend(block)
-        else:
-            for point in points:
-                values_rows.append(np.atleast_1d(
-                    np.asarray(solve_fn(point), dtype=float)))
+        with span("wave", points=int(points.shape[0])):
+            if solve_many is not None:
+                block = np.asarray(solve_many(points), dtype=float)
+                block = np.atleast_2d(block)
+                if block.shape[0] != points.shape[0]:
+                    raise StochasticError(
+                        f"solve_many returned {block.shape[0]} rows "
+                        f"for {points.shape[0]} points")
+                values_rows.extend(block)
+            else:
+                for point in points:
+                    values_rows.append(np.atleast_1d(
+                        np.asarray(solve_fn(point), dtype=float)))
         if progress is not None:
             progress(len(values_rows), config.max_solves or -1)
 
@@ -708,19 +710,20 @@ def run_adaptive_sscm(solve_fn, dim: int, config: AdaptiveConfig = None,
 
     indices = index_set.indices()
     final_grid = grid.combined_quadrature(indices)
-    if config.basis == "adaptive":
-        # Let the accepted index set drive the truncation: every term
-        # some member rule resolves without aliasing is retained, so
-        # refining a direction past level 2 grows its polynomial
-        # order along with its grid.
-        basis = HermiteBasis(dim,
-                             indices=adaptive_basis_indices(indices))
-    else:
-        basis = HermiteBasis(dim, order=order)
-    pce = PolynomialChaos(basis,
-                          combination_projection(grid, values, indices,
-                                                 basis),
-                          output_names=output_names)
+    with span("fit", basis=config.basis, tensors=len(indices)):
+        if config.basis == "adaptive":
+            # Let the accepted index set drive the truncation: every
+            # term some member rule resolves without aliasing is
+            # retained, so refining a direction past level 2 grows its
+            # polynomial order along with its grid.
+            basis = HermiteBasis(
+                dim, indices=adaptive_basis_indices(indices))
+        else:
+            basis = HermiteBasis(dim, order=order)
+        pce = PolynomialChaos(basis,
+                              combination_projection(grid, values,
+                                                     indices, basis),
+                              output_names=output_names)
     wall = time.perf_counter() - start
     final_error = (warm_error if termination == "warm"
                    else index_set.error_estimate())

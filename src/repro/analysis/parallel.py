@@ -32,6 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from repro.errors import StochasticError
+from repro.obs.trace import get_tracer
 from repro.stochastic.montecarlo import MonteCarloResult
 from repro.stochastic.sscm import SSCMResult
 from repro.stochastic.hermite import HermiteBasis
@@ -95,6 +96,18 @@ def _worker_wave_chunk(points):
         # size one is bitwise-identical to the serial evaluation.
         values.append(problem.evaluate_sample(reduced_space.split(zeta)))
     return np.vstack(values)
+
+
+def _worker_wave_chunk_traced(points):
+    # Same arithmetic as _worker_wave_chunk, plus a perf_counter
+    # window the parent ingests as a per-worker span.  perf_counter is
+    # a system-wide monotonic clock on our platforms, so the window is
+    # directly comparable with the parent tracer's origin.
+    start = time.perf_counter()
+    block = _worker_wave_chunk(points)
+    end = time.perf_counter()
+    return block, {"start": start, "end": end, "pid": os.getpid(),
+                   "points": int(points.shape[0])}
 
 
 def _default_workers() -> int:
@@ -172,8 +185,23 @@ class ParallelWaveEvaluator:
                   np.array_split(points,
                                  min(self.num_workers, points.shape[0]))
                   if chunk.shape[0]]
-        blocks = list(self._pool.map(_worker_wave_chunk, chunks))
-        return np.vstack(blocks)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            blocks = list(self._pool.map(_worker_wave_chunk, chunks))
+            return np.vstack(blocks)
+        # Traced path: identical values, plus one ingested span per
+        # worker chunk parented under this call's span so the Chrome
+        # trace shows real per-worker lanes.
+        with tracer.span("parallel_wave", chunks=len(chunks),
+                         points=int(points.shape[0])) as parent:
+            results = list(self._pool.map(_worker_wave_chunk_traced,
+                                          chunks))
+            for _, info in results:
+                tracer.add_span(
+                    "worker_chunk", info["start"], info["end"],
+                    parent_id=parent.span_id, pid=info["pid"], tid=0,
+                    attrs={"points": info["points"]})
+        return np.vstack([block for block, _ in results])
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

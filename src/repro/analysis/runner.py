@@ -20,6 +20,7 @@ from repro.adaptive.driver import (
     run_adaptive_sscm,
 )
 from repro.errors import StochasticError
+from repro.obs.trace import span
 from repro.stochastic.montecarlo import MonteCarloResult, run_monte_carlo
 from repro.stochastic.reduction import ReducedSpace, reduce_groups
 from repro.stochastic.sscm import SSCMResult, run_sscm
@@ -200,10 +201,12 @@ def run_sscm_analysis(problem: VariationalProblem, method: str = "wpfa",
             "functools.partial over a preset, or spec.build_problem)")
     weights = None
     if method == "wpfa":
-        weights = nominal_weights(problem, solution=nominal_solution)
-    reduced_space = reduce_groups(
-        problem.groups, method=method, weights_by_group=weights,
-        energy=energy, max_variables_by_group=max_variables_by_group)
+        with span("nominal_solve"):
+            weights = nominal_weights(problem, solution=nominal_solution)
+    with span("reduction", method=method):
+        reduced_space = reduce_groups(
+            problem.groups, method=method, weights_by_group=weights,
+            energy=energy, max_variables_by_group=max_variables_by_group)
 
     def solve_fn(zeta):
         xi_by_group = reduced_space.split(zeta)

@@ -33,8 +33,15 @@ from repro.errors import (
     StoreCorruptionError,
     StoreSchemaError,
 )
+from repro.obs.metrics import counter
 from repro.serving.store import SurrogateStore
 from repro.daemon.singleflight import release_lock, try_build_lock
+
+#: Execution-only observability: entries actually unlinked by GC
+#: passes in this process (dry runs never count).
+_GC_EVICTIONS = counter(
+    "repro_store_gc_evictions_total",
+    "Store entries evicted by LRU garbage collection")
 
 
 @dataclass
@@ -153,6 +160,7 @@ def run_gc(store: SurrogateStore, max_entries: int = None,
                 continue
             store.delete(key)
             evicted.append(key)
+            _GC_EVICTIONS.inc()
         finally:
             release_lock(lock_fd)
     kept_rows = len(plan.keep) + len(skipped)

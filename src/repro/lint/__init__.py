@@ -25,6 +25,10 @@ Rule families (full catalog in ``docs/LINT.md``):
   boundaries.
 - **RL5xx** public-API drift: ``__all__`` entries must resolve and be
   documented.
+- **RL6xx** observability firewall: the execution-only ``repro.obs``
+  package never reaches identity modules or ``canonical()`` /
+  ``cache_key()`` forms, so instrumentation can never perturb a
+  cache key.
 
 Suppress a deliberate exception inline, with a reason::
 
@@ -48,6 +52,7 @@ from repro.lint import rules_determinism  # noqa: F401
 from repro.lint import rules_store  # noqa: F401
 from repro.lint import rules_pool  # noqa: F401
 from repro.lint import rules_api  # noqa: F401
+from repro.lint import rules_obs  # noqa: F401
 
 from repro.lint.engine import (
     FileContext,

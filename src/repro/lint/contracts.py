@@ -61,6 +61,26 @@ STRIP_CONTRACTS = (
 #: stamps that are deliberately *not* part of any identity or result.
 TIMESTAMP_FIELDS = frozenset({"created_at", "last_used"})
 
+#: Modules whose *job* is reading the clock: the span tracer stamps
+#: wall/monotonic origins on every span and the structured event log
+#: timestamps every record.  Both live strictly on the execution side
+#: of the identity firewall (see OBS_PACKAGE below), so RL201's
+#: wall-clock ban does not apply inside them — anywhere else it does.
+CLOCK_EXEMPT_MODULES = ("repro.obs.log", "repro.obs.trace")
+
+#: The observability package.  Everything under it is execution-only
+#: by contract: counters, spans and logs describe how a build *ran*,
+#: never what it *is*.  RL601 keeps it out of identity forms — an
+#: identity module importing repro.obs, or an identity function
+#: (IDENTITY_FUNCTIONS) touching it, would put instrumentation one
+#: refactor away from perturbing a cache key.
+OBS_PACKAGE = "repro.obs"
+
+#: Modules that define surrogate identity (canonical forms feeding
+#: cache keys).  They must not import the observability package at
+#: all; execution modules may, but never inside IDENTITY_FUNCTIONS.
+IDENTITY_MODULES = ("repro.serving.spec",)
+
 #: Fully-qualified callables that read ambient nondeterministic state.
 #: ``random.*`` and legacy ``numpy.random.*`` are matched by prefix
 #: (see rules_determinism); these are the exact-name bans.

@@ -1,0 +1,218 @@
+"""Prometheus text exposition (version 0.0.4) writer and parser.
+
+:func:`prometheus_text` renders :class:`~repro.obs.metrics.MetricsRegistry`
+snapshots into the canonical scrape format: one ``# HELP`` / ``# TYPE``
+pair per metric, label values escaped (backslash, double quote,
+newline), histograms expanded into cumulative ``_bucket{le=...}``
+series plus ``_sum`` and ``_count``.  Output is deterministic — same
+snapshot, same bytes.
+
+:func:`parse_prometheus` is the matching small validating parser.  It
+exists so the CI daemon-smoke job (and the tests) can assert the
+``/metrics`` endpoint really speaks the format — TYPE-before-samples
+ordering, bucket monotonicity, ``+Inf`` agreeing with ``_count`` —
+without installing a Prometheus client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$")
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double quote, newline."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string: backslash and newline."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Shortest faithful rendering: integers without a trailing .0."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_labels(labels: dict, extra=()) -> str:
+    """Render ``{k="v",...}`` (sorted, escaped); '' when empty."""
+    items = sorted((str(k), str(v)) for k, v in labels.items())
+    items.extend(extra)
+    if not items:
+        return ""
+    rendered = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in items)
+    return "{" + rendered + "}"
+
+
+def prometheus_text(snapshots: list) -> str:
+    """Render one or more registry snapshots as exposition text.
+
+    ``snapshots`` is a list of per-metric snapshot dicts (the
+    concatenation of one or more ``MetricsRegistry.snapshot()``
+    results); metrics are emitted sorted by name.
+    """
+    lines = []
+    for metric in sorted(snapshots, key=lambda m: m["name"]):
+        name, kind = metric["name"], metric["type"]
+        lines.append(f"# HELP {name} {escape_help(metric['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            for sample in metric["samples"]:
+                labels = _format_labels(sample["labels"])
+                value = _format_value(sample["value"])
+                lines.append(f"{name}{labels} {value}")
+        elif kind == "histogram":
+            bounds = [_format_value(b) for b in metric["buckets"]]
+            bounds.append("+Inf")
+            for sample in metric["samples"]:
+                for bound, count in zip(bounds, sample["cumulative"]):
+                    labels = _format_labels(
+                        sample["labels"], extra=[("le", bound)])
+                    lines.append(
+                        f"{name}_bucket{labels} "
+                        f"{_format_value(count)}")
+                labels = _format_labels(sample["labels"])
+                lines.append(
+                    f"{name}_sum{labels} "
+                    f"{_format_value(sample['sum'])}")
+                lines.append(
+                    f"{name}_count{labels} "
+                    f"{_format_value(sample['count'])}")
+        else:
+            raise ValueError(f"unknown metric type {kind!r}")
+    return "\n".join(lines) + "\n"
+
+
+def _unescape(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    return float(token)
+
+
+def _base_name(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse and validate exposition text.
+
+    Returns ``{metric_name: {"type", "help", "samples"}}`` where
+    ``samples`` maps a sorted ``((label, value), ...)`` tuple — with
+    ``le``/suffix folded in for histogram series — to a float.
+
+    Raises ``ValueError`` on malformed lines, samples appearing before
+    their ``# TYPE``, non-monotonic histogram buckets, or a ``+Inf``
+    bucket that disagrees with ``_count``.
+    """
+    metrics: dict[str, dict] = {}
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            metrics.setdefault(
+                name, {"type": None, "help": None, "samples": {}})
+            metrics[name]["help"] = _unescape(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram",
+                            "summary", "untyped"):
+                raise ValueError(f"unknown TYPE {kind!r} for {name!r}")
+            metrics.setdefault(
+                name, {"type": None, "help": None, "samples": {}})
+            if metrics[name]["type"] is not None:
+                raise ValueError(f"duplicate TYPE for {name!r}")
+            metrics[name]["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        sample_name = match.group("name")
+        base = _base_name(sample_name)
+        owner = base if base in metrics else sample_name
+        if owner not in metrics or metrics[owner]["type"] is None:
+            raise ValueError(
+                f"sample {sample_name!r} appears before its # TYPE")
+        labels = {}
+        body = match.group("labels")
+        if body:
+            consumed = 0
+            for label in _LABEL_RE.finditer(body):
+                labels[label.group("key")] = _unescape(
+                    label.group("value"))
+                consumed = label.end()
+            if body[consumed:].strip(", "):
+                raise ValueError(f"malformed labels in: {line!r}")
+        sample_key = tuple(sorted(labels.items()))
+        samples = metrics[owner]["samples"]
+        full_key = (sample_name, sample_key)
+        if full_key in samples:
+            raise ValueError(f"duplicate sample: {line!r}")
+        samples[full_key] = _parse_value(match.group("value"))
+    _validate_histograms(metrics)
+    return metrics
+
+
+def _validate_histograms(metrics: dict) -> None:
+    for name, metric in metrics.items():
+        if metric["type"] != "histogram":
+            continue
+        series: dict[tuple, list] = {}
+        counts: dict[tuple, float] = {}
+        for (sample_name, labels), value in metric["samples"].items():
+            if sample_name == f"{name}_bucket":
+                bare = tuple(item for item in labels
+                             if item[0] != "le")
+                le = dict(labels).get("le")
+                if le is None:
+                    raise ValueError(
+                        f"{name}_bucket sample missing le label")
+                series.setdefault(bare, []).append(
+                    (_parse_value(le), value))
+            elif sample_name == f"{name}_count":
+                counts[labels] = value
+        for bare, buckets in series.items():
+            ordered = sorted(buckets)
+            values = [count for _, count in ordered]
+            if values != sorted(values):
+                raise ValueError(
+                    f"{name} buckets are not monotonic for {bare!r}")
+            if not ordered or ordered[-1][0] != math.inf:
+                raise ValueError(f"{name} is missing a +Inf bucket")
+            total = counts.get(bare)
+            if total is not None and ordered[-1][1] != total:
+                raise ValueError(
+                    f"{name} +Inf bucket ({ordered[-1][1]}) disagrees "
+                    f"with _count ({total})")

@@ -1,0 +1,68 @@
+"""Structured JSONL event log for the daemon (``--access-log``).
+
+One JSON object per line, append-only, thread-safe.  Each record gets
+a wall-clock ``ts`` (unix seconds) and an ``event`` kind; everything
+else is caller-provided and must be JSON-serializable.  Keys are
+written sorted so identical events serialize identically.
+
+This module is on the RL201 clock allowlist
+(``CLOCK_EXEMPT_MODULES``): access-log timestamps are wall-clock by
+design, and — like everything in ``repro.obs`` — they are
+execution-only data that never feeds a cache key (RL601).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+
+class EventLog:
+    """Append-only JSONL writer with per-line flush.
+
+    Opened lazily on first :meth:`write`, so constructing a daemon
+    with an access-log path does not touch the filesystem until a
+    request arrives.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def write(self, event: str, **fields) -> dict:
+        """Append one record; returns the dict that was written."""
+        record = {"ts": time.time(), "event": str(event), **fields}
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def read_events(path) -> list:
+    """Parse a JSONL event log back into a list of dicts (tests)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

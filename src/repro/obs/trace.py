@@ -1,0 +1,227 @@
+"""Hierarchical span tracer with a context-manager API.
+
+A :class:`Tracer` records a parent-linked tree of timed spans using
+monotonic clocks (``time.perf_counter``); ``repro build --profile``
+turns the tree into Chrome trace-event JSON (:mod:`repro.obs.profile`).
+Activation is **thread-local**: ``with activate(tracer):`` installs a
+tracer for the current thread only, so concurrent daemon builds never
+interleave their span trees.  Library code calls the module-level
+:func:`span` helper, which resolves to the active tracer or to the
+shared :data:`NULL_TRACER` whose spans are free no-ops — tracing off is
+the default and costs one thread-local lookup per call site.
+
+Worker processes cannot share a tracer object; instead they measure
+their own ``perf_counter`` windows and the parent ingests them with
+:meth:`Tracer.add_span`.  On the platforms we run on,
+``perf_counter`` is a system-wide monotonic clock, so worker times are
+directly comparable with the parent's — the Chrome trace shows real
+per-worker lanes.
+
+This module is on the RL201 clock allowlist
+(``CLOCK_EXEMPT_MODULES``): it may read wall clocks to anchor traces
+to calendar time.  The flip side is the RL601 identity firewall —
+nothing in ``repro.obs`` may be reached from ``canonical()`` or any
+cache-key path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+
+
+class Span:
+    """One timed node of the trace tree (times in ``perf_counter`` s)."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end",
+                 "pid", "tid", "attrs")
+
+    def __init__(self, name, span_id, parent_id, start, end=None,
+                 pid=None, tid=None, attrs=None):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.pid = os.getpid() if pid is None else pid
+        self.tid = threading.get_ident() if tid is None else tid
+        self.attrs = dict(attrs) if attrs else {}
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (ids, window, pid/tid, attrs)."""
+        return {"name": self.name, "span_id": self.span_id,
+                "parent_id": self.parent_id, "start": self.start,
+                "end": self.end, "pid": self.pid, "tid": self.tid,
+                "attrs": dict(self.attrs)}
+
+
+class Tracer:
+    """Collects a parent-linked span tree; safe across threads."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._stack = threading.local()
+        self.spans: list[Span] = []
+        #: perf_counter origin: Chrome timestamps are relative to this.
+        self.start = time.perf_counter()
+        #: Wall-clock anchor for correlating traces with access logs.
+        self.wall_start = time.time()
+
+    def _current_stack(self) -> list:
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = self._stack.spans = []
+        return stack
+
+    def current_span(self):
+        """Innermost open span on this thread, or ``None``."""
+        stack = self._current_stack()
+        return stack[-1] if stack else None
+
+    def _new_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs):
+        """Open a child span of this thread's innermost open span."""
+        stack = self._current_stack()
+        parent = stack[-1] if stack else None
+        node = Span(name, self._new_id(),
+                    parent.span_id if parent else None,
+                    time.perf_counter(), attrs=attrs)
+        stack.append(node)
+        try:
+            yield node
+        finally:
+            node.end = time.perf_counter()
+            stack.pop()
+            with self._lock:
+                self.spans.append(node)
+
+    def add_span(self, name: str, start: float, end: float, *,
+                 parent_id=None, pid=None, tid=None,
+                 attrs=None) -> Span:
+        """Ingest a foreign span (e.g. measured in a worker process).
+
+        ``start``/``end`` must already be in this machine's
+        ``perf_counter`` domain.
+        """
+        node = Span(name, self._new_id(), parent_id, start, end,
+                    pid=pid, tid=tid, attrs=attrs)
+        with self._lock:
+            self.spans.append(node)
+        return node
+
+    def totals(self, root=None) -> dict:
+        """Seconds per span name, optionally restricted to a subtree.
+
+        Only spans whose *name matches exactly* are summed together,
+        so nested spans of different names never double-count.  With
+        ``root`` (a :class:`Span` or a span id), only descendants of
+        that span — and the span itself — contribute.
+        """
+        root_id = root.span_id if isinstance(root, Span) else root
+        with self._lock:
+            spans = list(self.spans)
+        if root_id is not None:
+            members = {root_id}
+            # Parents are appended after their children; sweep until
+            # the member set stops growing to resolve any order.
+            grew = True
+            while grew:
+                grew = False
+                for node in spans:
+                    if node.span_id not in members \
+                            and node.parent_id in members:
+                        members.add(node.span_id)
+                        grew = True
+            spans = [node for node in spans if node.span_id in members]
+        totals: dict[str, float] = {}
+        for node in spans:
+            totals[node.name] = totals.get(node.name, 0.0) \
+                + node.duration
+        return totals
+
+
+class _NullSpan:
+    """Inert stand-in so ``with span(...) as s: s.attrs[...]`` works."""
+
+    __slots__ = ("attrs",)
+    name = None
+    span_id = None
+    parent_id = None
+    duration = 0.0
+
+    def __init__(self):
+        self.attrs = {}
+
+
+class _NullTracer:
+    """Free tracer: ``span()`` returns a shared no-op context."""
+
+    enabled = False
+
+    def __init__(self):
+        self._span = _NullSpan()
+
+    @contextlib.contextmanager
+    def _null_context(self):
+        yield self._span
+
+    def span(self, name, **attrs):
+        """No-op context manager; ignores everything."""
+        return self._null_context()
+
+    def current_span(self):
+        """Always ``None`` — nothing is ever open."""
+        return None
+
+    def add_span(self, name, start, end, **kwargs):
+        """Discard the foreign span."""
+        return self._span
+
+    def totals(self, root=None):
+        """Always empty."""
+        return {}
+
+
+#: Shared inert tracer installed when nothing is being profiled.
+NULL_TRACER = _NullTracer()
+
+_ACTIVE = threading.local()
+
+
+def get_tracer():
+    """This thread's active tracer, or :data:`NULL_TRACER`."""
+    return getattr(_ACTIVE, "tracer", None) or NULL_TRACER
+
+
+@contextlib.contextmanager
+def activate(tracer):
+    """Install ``tracer`` as this thread's active tracer."""
+    previous = getattr(_ACTIVE, "tracer", None)
+    _ACTIVE.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.tracer = previous
+
+
+def span(name: str, **attrs):
+    """Open a span on this thread's active tracer (no-op when idle)."""
+    return get_tracer().span(name, **attrs)

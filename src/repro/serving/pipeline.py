@@ -23,8 +23,38 @@ from repro.errors import (
     StoreCorruptionError,
     StoreSchemaError,
 )
+from repro.obs.metrics import counter
+from repro.obs.trace import Tracer, activate, get_tracer, span
 from repro.serving.spec import ProblemSpec
 from repro.serving.store import SurrogateRecord, SurrogateStore
+
+#: Execution-only observability (process-global registry): cache
+#: traffic, build volume and warm-start outcomes of ensure_surrogate.
+_STORE_HITS = counter(
+    "repro_store_hits_total",
+    "ensure_surrogate calls answered from the surrogate store")
+_STORE_MISSES = counter(
+    "repro_store_misses_total",
+    "ensure_surrogate calls that had to build (or rebuild)")
+_BUILDS = counter(
+    "repro_builds_total", "Surrogate builds completed and persisted")
+_BUILD_SOLVES = counter(
+    "repro_build_solves_total",
+    "Deterministic coupled solves spent inside surrogate builds")
+_WARM_STARTS = counter(
+    "repro_warm_start_total",
+    "Adaptive build warm-start outcomes, by 'outcome' label "
+    "(certified / reopened / rejected / none)")
+
+
+def _warm_outcome(refinement) -> str:
+    """Classify a build's warm-start provenance for the counter."""
+    warm = (refinement or {}).get("warm_start")
+    if not warm:
+        return "none"
+    if not warm.get("used"):
+        return "rejected"
+    return "certified" if warm.get("certified") else "reopened"
 
 
 @dataclass
@@ -36,6 +66,10 @@ class BuildReport:
     ``warm_start_source`` is the cache key of the stored sibling
     surrogate that seeded an adaptive build, or ``None`` (cache hit,
     fixed-grid build, no usable sibling, or warm starts disabled).
+    ``timings`` breaks a build's wall time down from the span tracer
+    (``total_s`` / ``solve_s`` / ``fit_s`` / ``store_write_s``
+    seconds); it is ``None`` on a cache hit — the hit path is
+    deliberately untraced so serving stays zero-overhead.
     """
 
     record: SurrogateRecord
@@ -44,6 +78,7 @@ class BuildReport:
     wall_time: float
     replaced_damaged: bool = False
     warm_start_source: str = None
+    timings: dict = None
 
     @property
     def cache_key(self) -> str:
@@ -111,12 +146,14 @@ def build_surrogate(spec: ProblemSpec, progress=None,
         ``warm_start_source`` inside the refinement sidecar when a
         seed was used).
     """
-    problem = spec.build_problem()
+    with span("build_problem"):
+        problem = spec.build_problem()
     kwargs = spec.analysis_kwargs()
     seed = None
     if warm_start and store is not None \
             and kwargs["refinement"] is not None:
-        seed = _warm_start_for(spec, store)
+        with span("warm_start_lookup"):
+            seed = _warm_start_for(spec, store)
     analysis = run_sscm_analysis(problem, progress=progress,
                                  problem_builder=spec.build_problem,
                                  warm_start=seed, **kwargs)
@@ -192,8 +229,12 @@ def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
         # Usage bookkeeping for the inventory / LRU eviction: a hit
         # refreshes the entry's last_used stamp.
         store.touch(key)
+        _STORE_HITS.inc()
         return BuildReport(record=record, built=False, num_solves=0,
                            wall_time=time.perf_counter() - start)
+    # Classified at entry: a coalesced racer that finds the winner's
+    # entry after the lock still counts as the miss it initially was.
+    _STORE_MISSES.inc()
     # Miss: serialize the build across processes with an advisory
     # per-key lock, so N processes racing the same missing spec run
     # one solve campaign — the losers block here, re-check, and find
@@ -206,15 +247,50 @@ def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
             return BuildReport(record=record, built=False,
                                num_solves=0,
                                wall_time=time.perf_counter() - start)
-        record = build_surrogate(spec, progress=progress, store=store,
-                                 warm_start=warm_start and not rebuild)
-        store.save(record)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            # Builds always run under a tracer — their own if none is
+            # installed — so BuildReport.timings exists even without
+            # --profile.  Span overhead is noise next to the solves it
+            # measures; the hit path above stays untraced.
+            tracer = Tracer()
+        with activate(tracer), \
+                tracer.span("build", cache_key=key) as build_span:
+            record = build_surrogate(
+                spec, progress=progress, store=store,
+                warm_start=warm_start and not rebuild)
+            solve_names = ("nominal_solve", "collocation", "wave")
+            totals = tracer.totals(root=build_span.span_id)
+            # Persisted (execution-only) breakdown: the sidecar's copy
+            # cannot include the write that stores it, so store.save
+            # appends its own measured store_write_s.
+            record.timings = {
+                "total_s": time.perf_counter() - build_span.start,
+                "solve_s": sum(totals.get(name, 0.0)
+                               for name in solve_names),
+                "fit_s": totals.get("fit", 0.0),
+            }
+            with tracer.span("store_write"):
+                store.save(record)
+        totals = tracer.totals(root=build_span.span_id)
+        timings = {
+            "total_s": build_span.duration,
+            "solve_s": sum(totals.get(name, 0.0)
+                           for name in solve_names),
+            "fit_s": totals.get("fit", 0.0),
+            "store_write_s": totals.get("store_write", 0.0),
+        }
     # One solve per collocation point, plus the nominal solve when the
     # wPFA needed its weights.
     nominal = 1 if spec.resolved_reduction()["method"] == "wpfa" else 0
     num_solves = record.num_runs + nominal
+    _BUILDS.inc()
+    _BUILD_SOLVES.inc(num_solves)
+    if record.refinement is not None:
+        _WARM_STARTS.inc(outcome=_warm_outcome(record.refinement))
     source = (record.refinement or {}).get("warm_start_source")
     return BuildReport(record=record, built=True, num_solves=num_solves,
                        wall_time=time.perf_counter() - start,
                        replaced_damaged=replaced_damaged,
-                       warm_start_source=source)
+                       warm_start_source=source,
+                       timings=timings)

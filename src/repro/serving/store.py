@@ -86,6 +86,13 @@ class SurrogateRecord:
         trace and termination reason — ``None`` for fixed-grid builds.
         A replayed adaptive surrogate therefore still documents every
         refinement decision that shaped it.
+    timings:
+        Execution-only build breakdown from the span tracer
+        (``total_s`` / ``solve_s`` / ``fit_s`` seconds, plus the
+        ``store_write_s`` that :meth:`SurrogateStore.save` measures
+        itself).  Persisted under the sidecar's ``execution`` section
+        — never hashed, never part of the cache key — and ``None``
+        for records built before the tracer existed.
     """
 
     pce: QuadraticPCE
@@ -96,6 +103,7 @@ class SurrogateRecord:
     problem_signature: dict = None
     created_at: float = 0.0
     refinement: dict = None
+    timings: dict = None
 
     @property
     def cache_key(self) -> str:
@@ -187,7 +195,17 @@ class SurrogateStore:
             "refinement": record.refinement,
             "basis": record.pce.basis.describe(),
         }
+        write_start = time.perf_counter()
         self._atomic_write(payload_path, payload)
+        if record.timings is not None:
+            # Execution-only section: the integrity rehash covers the
+            # sidecar's spec alone, so these timings can never change
+            # the cache key.  The payload-write seconds are measured
+            # here — the sidecar cannot time its own write.
+            sidecar["execution"] = {"timings": {
+                **record.timings,
+                "store_write_s": time.perf_counter() - write_start,
+            }}
         self._atomic_write(
             sidecar_path,
             (canonical_json(sidecar) + "\n").encode("utf-8"))
@@ -389,6 +407,7 @@ class SurrogateStore:
             problem_signature=sidecar.get("problem_signature"),
             created_at=float(sidecar.get("created_at", 0.0)),
             refinement=sidecar.get("refinement"),
+            timings=(sidecar.get("execution") or {}).get("timings"),
         )
         return record
 

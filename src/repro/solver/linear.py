@@ -23,6 +23,17 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.errors import SingularSystemError
+from repro.obs.metrics import counter
+from repro.obs.trace import span
+
+#: Execution-only observability: factorizations and triangular solves
+#: performed by this process (reuse shows up as solves >> factorizations).
+_FACTORIZATIONS = counter(
+    "repro_solver_factorizations_total",
+    "Sparse LU factorizations performed (SparseFactor constructions)")
+_SOLVES = counter(
+    "repro_solver_solves_total",
+    "Triangular back-substitutions through an existing factorization")
 
 
 def _max_abs_rows(matrix: sp.csr_matrix) -> np.ndarray:
@@ -75,30 +86,33 @@ class SparseFactor:
             self._col_scale = None
             return
 
-        if equilibrate:
-            row_max = _max_abs_rows(matrix)
-            if np.any(row_max == 0.0):
-                empty = int(np.count_nonzero(row_max == 0.0))
-                raise SingularSystemError(
-                    f"{empty} empty matrix rows: some unknowns have no "
-                    f"equation (check boundary conditions)")
-            row_scale = 1.0 / row_max
-            scaled = sp.diags(row_scale) @ matrix
-            col_max = _max_abs_rows(scaled.T.tocsr())
-            col_max[col_max == 0.0] = 1.0
-            col_scale = 1.0 / col_max
-            scaled = (scaled @ sp.diags(col_scale)).tocsc()
-        else:
-            scaled = matrix.tocsc()
-            row_scale = None
-            col_scale = None
-        self._row_scale = row_scale
-        self._col_scale = col_scale
+        with span("factorize", n=n):
+            if equilibrate:
+                row_max = _max_abs_rows(matrix)
+                if np.any(row_max == 0.0):
+                    empty = int(np.count_nonzero(row_max == 0.0))
+                    raise SingularSystemError(
+                        f"{empty} empty matrix rows: some unknowns have "
+                        f"no equation (check boundary conditions)")
+                row_scale = 1.0 / row_max
+                scaled = sp.diags(row_scale) @ matrix
+                col_max = _max_abs_rows(scaled.T.tocsr())
+                col_max[col_max == 0.0] = 1.0
+                col_scale = 1.0 / col_max
+                scaled = (scaled @ sp.diags(col_scale)).tocsc()
+            else:
+                scaled = matrix.tocsc()
+                row_scale = None
+                col_scale = None
+            self._row_scale = row_scale
+            self._col_scale = col_scale
 
-        try:
-            self._lu = spla.splu(scaled)
-        except RuntimeError as exc:
-            raise SingularSystemError(f"sparse LU failed: {exc}") from exc
+            try:
+                self._lu = spla.splu(scaled)
+            except RuntimeError as exc:
+                raise SingularSystemError(
+                    f"sparse LU failed: {exc}") from exc
+        _FACTORIZATIONS.inc()
 
     # ------------------------------------------------------------------
     def solve(self, rhs: np.ndarray) -> np.ndarray:
@@ -136,21 +150,24 @@ class SparseFactor:
             return (self.solve(np.ascontiguousarray(rhs.real))
                     + 1j * self.solve(np.ascontiguousarray(rhs.imag)))
 
-        if self._row_scale is not None:
-            scale = (self._row_scale if rhs.ndim == 1
-                     else self._row_scale[:, None])
-            scaled_rhs = scale * rhs
-        else:
-            scaled_rhs = rhs
-        y = self._lu.solve(np.asarray(scaled_rhs))
-        if not np.all(np.isfinite(y)):
-            raise SingularSystemError(
-                "solution contains non-finite values")
-        if self._col_scale is not None:
-            scale = (self._col_scale if y.ndim == 1
-                     else self._col_scale[:, None])
-            return scale * y
-        return y
+        num_rhs = 1 if rhs.ndim == 1 else int(rhs.shape[1])
+        with span("back_substitute", n=n, num_rhs=num_rhs):
+            if self._row_scale is not None:
+                scale = (self._row_scale if rhs.ndim == 1
+                         else self._row_scale[:, None])
+                scaled_rhs = scale * rhs
+            else:
+                scaled_rhs = rhs
+            y = self._lu.solve(np.asarray(scaled_rhs))
+            if not np.all(np.isfinite(y)):
+                raise SingularSystemError(
+                    "solution contains non-finite values")
+            _SOLVES.inc()
+            if self._col_scale is not None:
+                scale = (self._col_scale if y.ndim == 1
+                         else self._col_scale[:, None])
+                return scale * y
+            return y
 
 
 def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray,

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import StochasticError
+from repro.obs.trace import span
 from repro.stochastic.hermite import HermiteBasis
 from repro.stochastic.pce import QuadraticPCE
 from repro.stochastic.sparse_grid import SparseGrid, smolyak_sparse_grid
@@ -93,33 +94,35 @@ def run_sscm(solve_fn, dim: int, output_names=None, order: int = 2,
             f"grid dimension {grid.dim} does not match dim {dim}")
     start = time.perf_counter()
     total = grid.num_points
-    if solve_many is not None:
-        values = np.atleast_2d(np.asarray(solve_many(grid.points),
-                                          dtype=float))
-        if values.shape[0] != total:
-            raise StochasticError(
-                f"solve_many returned {values.shape[0]} rows for "
-                f"{total} points")
-        if progress is not None:
-            progress(total, total)
-    else:
-        values = []
-        for k, point in enumerate(grid.points):
-            values.append(np.atleast_1d(np.asarray(solve_fn(point),
-                                                   dtype=float)))
+    with span("collocation", points=total):
+        if solve_many is not None:
+            values = np.atleast_2d(np.asarray(solve_many(grid.points),
+                                              dtype=float))
+            if values.shape[0] != total:
+                raise StochasticError(
+                    f"solve_many returned {values.shape[0]} rows for "
+                    f"{total} points")
             if progress is not None:
-                progress(k + 1, total)
-        values = np.vstack(values)
+                progress(total, total)
+        else:
+            values = []
+            for k, point in enumerate(grid.points):
+                values.append(np.atleast_1d(np.asarray(solve_fn(point),
+                                                       dtype=float)))
+                if progress is not None:
+                    progress(k + 1, total)
+            values = np.vstack(values)
     wall = time.perf_counter() - start
 
     basis = HermiteBasis(dim, order=order)
-    if fit == "quadrature":
-        pce = QuadraticPCE.fit_quadrature(basis, grid.points, grid.weights,
-                                          values,
-                                          output_names=output_names)
-    elif fit == "regression":
-        pce = QuadraticPCE.fit_regression(basis, grid.points, values,
-                                          output_names=output_names)
-    else:
-        raise StochasticError(f"unknown fit method {fit!r}")
+    with span("fit", method=fit, terms=len(basis.indices)):
+        if fit == "quadrature":
+            pce = QuadraticPCE.fit_quadrature(basis, grid.points,
+                                              grid.weights, values,
+                                              output_names=output_names)
+        elif fit == "regression":
+            pce = QuadraticPCE.fit_regression(basis, grid.points, values,
+                                              output_names=output_names)
+        else:
+            raise StochasticError(f"unknown fit method {fit!r}")
     return SSCMResult(pce=pce, num_runs=total, wall_time=wall, grid=grid)

@@ -28,6 +28,7 @@ BASE = {
     "speedup": 100.0,
     "solve_reduction": 5.551724137931035,
     "wall_adaptive_s": 4.2,
+    "warm_obs_overhead": 1.004,
     "nested": {"grid_points": 29, "zero_weight_points": 0},
 }
 
@@ -77,6 +78,15 @@ class TestGatePasses:
         _write(fresh, {**BASE, "speedup": 40.0})
         assert _run(baseline, fresh) == 0
 
+    def test_overhead_under_ceiling_passes(self, dirs):
+        # Overhead is an absolute gate: even an overhead well above
+        # the baseline value passes as long as it stays under the
+        # ceiling — yesterday's luck is not the contract.
+        baseline, fresh = dirs
+        _write(baseline, BASE)
+        _write(fresh, {**BASE, "warm_obs_overhead": 1.049})
+        assert _run(baseline, fresh) == 0
+
     def test_new_fields_and_documents_allowed(self, dirs, capsys):
         baseline, fresh = dirs
         _write(baseline, BASE)
@@ -96,6 +106,7 @@ class TestGateFails:
         {"std_rel_err": 5.0e-6},              # > 2x baseline
         {"mean_rel_err": 1.0e-9},             # > floor from exact 0
         {"speedup": 10.0},                    # < 30% of baseline
+        {"warm_obs_overhead": 1.06},          # > absolute ceiling
         {"nested": {"grid_points": 31,
                     "zero_weight_points": 0}},
     ])

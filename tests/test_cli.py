@@ -102,6 +102,50 @@ class TestServingCli:
         kinds = [a["kind"] for a in response["answers"]]
         assert kinds == ["mean", "quantiles"]
 
+    def test_build_reports_timings(self, request_file, tmp_path,
+                                   capsys):
+        store = str(tmp_path / "store")
+        assert main(["build", request_file, "--store", store]) == 0
+        timings = json.loads(capsys.readouterr().out)["builds"][0][
+            "timings"]
+        assert set(timings) == {"total_s", "solve_s", "fit_s",
+                                "store_write_s"}
+        assert timings["total_s"] > timings["solve_s"] > 0.0
+
+    def test_build_profile_writes_chrome_trace(self, request_file,
+                                               tmp_path, capsys):
+        store = str(tmp_path / "store")
+        trace = tmp_path / "trace.json"
+        assert main(["build", request_file, "--store", store,
+                     "--profile", str(trace)]) == 0
+        build = json.loads(capsys.readouterr().out)
+        assert build["profile"] == str(trace)
+        assert build["builds"][0]["built"] is True
+
+        document = json.loads(trace.read_text())
+        events = document["traceEvents"]
+        assert all(event["ph"] == "X" for event in events)
+        names = {event["name"] for event in events}
+        assert {"build", "build_problem", "collocation", "fit",
+                "factorize", "store_write"} <= names
+        # Every non-root span links to a parent inside the document.
+        ids = {event["args"]["span_id"] for event in events}
+        for event in events:
+            parent = event["args"].get("parent_id")
+            assert parent is None or parent in ids
+
+    def test_build_profile_does_not_change_the_key(self, request_file,
+                                                   tmp_path, capsys):
+        plain = str(tmp_path / "plain")
+        profiled = str(tmp_path / "profiled")
+        assert main(["build", request_file, "--store", plain]) == 0
+        baseline = json.loads(capsys.readouterr().out)
+        assert main(["build", request_file, "--store", profiled,
+                     "--profile", str(tmp_path / "t.json")]) == 0
+        traced = json.loads(capsys.readouterr().out)
+        assert traced["builds"][0]["cache_key"] \
+            == baseline["builds"][0]["cache_key"]
+
     def test_query_builds_on_miss(self, request_file, tmp_path, capsys):
         store = str(tmp_path / "store")
         assert main(["query", request_file, "--store", store]) == 0

@@ -11,12 +11,17 @@ break:
   out-of-band sidecar edits/deletions (disk wins, always);
 * **GC is live-safe** — strictly LRU, the MRU entry is immortal,
   entries being built or hit since planning are skipped, and the
-  store passes its own corruption checks afterwards.
+  store passes its own corruption checks afterwards;
+* **observability is truthful** — ``/metrics`` speaks valid
+  Prometheus exposition and agrees with ``/stats``, per-instance
+  registries never cross-talk between embedded daemons, and the
+  structured access log records what the handlers actually served.
 """
 
 import json
 import multiprocessing
 import threading
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -517,3 +522,156 @@ class TestDaemonHTTP:
         assert payload["status"] == "shutting down"
         instance._thread.join(timeout=10.0)
         assert not instance._thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Observability: /metrics, latency stats, access log
+
+
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+class TestDaemonObservability:
+    def test_metrics_speaks_valid_prometheus(self, daemon):
+        from repro.obs import parse_prometheus
+
+        instance, url = daemon
+        _post(url + "/query", {"spec": tiny_spec().to_dict(),
+                               "queries": [{"kind": "mean"}]})
+        _get(url + "/health")
+        # Requests are counted after their response is sent; poll
+        # until the scrape includes the /query we just made.
+        for _ in range(100):
+            status, content_type, text = _get_text(url + "/metrics")
+            if 'endpoint="/query"' in text:
+                break
+            time.sleep(0.01)
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+
+        parsed = parse_prometheus(text)  # validates the exposition
+        assert parsed["repro_daemon_builds_total"]["type"] == "counter"
+        stats = instance.stats()
+        samples = parsed["repro_daemon_builds_total"]["samples"]
+        assert samples[("repro_daemon_builds_total", ())] \
+            == stats["builds"] == 1
+        requests = parsed["repro_http_requests_total"]["samples"]
+        by_endpoint = {dict(labels).get("endpoint"): value
+                       for (_, labels), value in requests.items()}
+        assert by_endpoint["/query"] >= 1
+        assert by_endpoint["/health"] >= 1
+        # Global library metrics are merged into the same scrape.
+        assert parsed["repro_store_misses_total"]["type"] == "counter"
+        assert parsed["repro_http_request_seconds"]["type"] \
+            == "histogram"
+
+    def test_metrics_endpoint_labels_are_bounded(self, daemon):
+        from repro.obs import parse_prometheus
+
+        _, url = daemon
+        with pytest.raises(urllib.error.HTTPError):
+            _get(url + "/made-up-route-1")
+        with pytest.raises(urllib.error.HTTPError):
+            _get(url + "/made-up-route-2")
+        for _ in range(100):
+            _, _, text = _get_text(url + "/metrics")
+            if 'endpoint="other"' in text:
+                break
+            time.sleep(0.01)
+        requests = parse_prometheus(text)[
+            "repro_http_requests_total"]["samples"]
+        endpoints = {dict(labels).get("endpoint")
+                     for _, labels in requests}
+        assert "other" in endpoints
+        assert not any(e.startswith("/made-up") for e in endpoints)
+
+    def test_stats_carries_per_endpoint_latency(self, daemon):
+        _, url = daemon
+        _get(url + "/health")
+        for _ in range(100):
+            status, stats = _get(url + "/stats")
+            if "/health" in stats["latency"]:
+                break
+            time.sleep(0.01)
+        assert status == 200
+        health = stats["latency"]["/health"]
+        assert health["count"] >= 1
+        assert health["sum_s"] >= 0.0
+        assert health["buckets"]["+Inf"] == health["count"]
+
+    def test_embedded_daemons_do_not_share_counters(self, tmp_path):
+        first = ReproDaemon(store_path=tmp_path / "a", port=0)
+        second = ReproDaemon(store_path=tmp_path / "b", port=0)
+        first.start()
+        second.start()
+        try:
+            host, port = first.address
+            _post(f"http://{host}:{port}/query",
+                  {"spec": tiny_spec().to_dict(), "queries": []})
+            assert first.stats()["builds"] == 1
+            assert second.stats()["builds"] == 0
+            assert second.stats()["requests"] == 0
+        finally:
+            first.shutdown()
+            second.shutdown()
+
+    def test_access_log_records_requests(self, tmp_path):
+        from repro.obs import read_events
+
+        log_path = tmp_path / "access.jsonl"
+        instance = ReproDaemon(store_path=tmp_path / "store", port=0,
+                               access_log=log_path, quiet=True)
+        instance.start()
+        host, port = instance.address
+        try:
+            _get(f"http://{host}:{port}/health")
+            with pytest.raises(urllib.error.HTTPError):
+                _get(f"http://{host}:{port}/nope")
+            # Records are appended after each response is sent; wait
+            # for both before shutting the log down.
+            for _ in range(100):
+                if log_path.exists() \
+                        and len(read_events(log_path)) >= 2:
+                    break
+                time.sleep(0.01)
+        finally:
+            instance.shutdown()
+
+        events = read_events(log_path)
+        assert [e["event"] for e in events] == ["request"] * 2
+        health, missing = events
+        assert health["method"] == "GET"
+        assert health["path"] == "/health"
+        assert health["status"] == 200
+        assert health["duration_s"] >= 0.0
+        assert missing["status"] == 404
+        assert missing["path"] == "/nope"
+
+    def test_quiet_daemon_suppresses_request_lines(self, tmp_path,
+                                                   caplog):
+        import logging
+
+        for quiet in (True, False):
+            instance = ReproDaemon(store_path=tmp_path / f"s{quiet}",
+                                   port=0, quiet=quiet)
+            instance.start()
+            host, port = instance.address
+            try:
+                with caplog.at_level(logging.INFO, logger="repro.daemon"):
+                    caplog.clear()
+                    _get(f"http://{host}:{port}/health")
+                    # The handler logs after the response is sent;
+                    # give its thread a moment before judging.
+                    for _ in range(100):
+                        lines = [record for record in caplog.records
+                                 if record.name == "repro.daemon"
+                                 and record.levelno == logging.INFO]
+                        if lines:
+                            break
+                        time.sleep(0.01)
+                assert bool(lines) == (not quiet)
+            finally:
+                instance.shutdown()

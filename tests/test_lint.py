@@ -546,6 +546,95 @@ class TestUndocumentedExport:
 
 
 # ----------------------------------------------------------------------
+# RL6xx — observability firewall
+
+
+class TestObsFirewall:
+    def test_obs_import_in_identity_module_is_flagged(self):
+        diagnostics = lint_snippet("""
+            from repro.obs.metrics import counter
+        """, path="src/repro/serving/spec.py", select="RL601")
+        assert rules_of(diagnostics) == ["RL601"]
+        assert "execution-only" in diagnostics[0].message
+
+    def test_plain_import_form_is_flagged_too(self):
+        diagnostics = lint_snippet("""
+            import repro.obs.trace
+        """, path="src/repro/serving/spec.py", select="RL601")
+        assert rules_of(diagnostics) == ["RL601"]
+
+    def test_execution_modules_may_import_obs(self):
+        diagnostics = lint_snippet("""
+            from repro.obs.metrics import counter
+            HITS = counter("repro_x_total", "doc")
+        """, path="src/repro/serving/pipeline.py", select="RL601")
+        assert diagnostics == []
+
+    def test_obs_call_inside_canonical_is_flagged(self):
+        diagnostics = lint_snippet("""
+            from repro.obs.trace import span
+
+            def canonical(self):
+                with span("canonicalize"):
+                    return {"tol": self.tol}
+        """, select="RL602")
+        assert rules_of(diagnostics) == ["RL602"]
+        assert "canonical()" in diagnostics[0].message
+
+    def test_obs_attribute_call_inside_cache_key_is_flagged(self):
+        diagnostics = lint_snippet("""
+            from repro.obs import metrics
+
+            def cache_key(self):
+                metrics.counter("repro_keys_total", "doc").inc()
+                return self.digest()
+        """, select="RL602")
+        assert rules_of(diagnostics) == ["RL602"]
+
+    def test_late_import_inside_to_dict_is_flagged(self):
+        diagnostics = lint_snippet("""
+            def to_dict(self):
+                from repro.obs.metrics import counter
+                return {}
+        """, select="RL602")
+        assert rules_of(diagnostics) == ["RL602"]
+
+    def test_obs_name_reference_inside_identity_form_is_flagged(self):
+        diagnostics = lint_snippet("""
+            from repro.obs.trace import NULL_TRACER
+
+            def to_dict(self):
+                return {"tracer": NULL_TRACER}
+        """, select="RL602")
+        assert rules_of(diagnostics) == ["RL602"]
+
+    def test_obs_usage_outside_identity_functions_is_fine(self):
+        diagnostics = lint_snippet("""
+            from repro.obs.trace import span
+
+            def build(self):
+                with span("build"):
+                    return self.solve()
+        """, select="RL602")
+        assert diagnostics == []
+
+    def test_clock_exempt_modules_skip_rl201(self):
+        snippet = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        exempt = lint_snippet(snippet, path="src/repro/obs/trace.py",
+                              select="RL201")
+        assert exempt == []
+        elsewhere = lint_snippet(snippet,
+                                 path="src/repro/obs/metrics.py",
+                                 select="RL201")
+        assert rules_of(elsewhere) == ["RL201"]
+
+
+# ----------------------------------------------------------------------
 # Suppression directives
 
 
@@ -664,7 +753,7 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ("RL000", "RL001", "RL101", "RL102", "RL103",
                         "RL201", "RL202", "RL301", "RL401", "RL501",
-                        "RL502"):
+                        "RL502", "RL601", "RL602"):
             assert rule_id in out
 
     def test_clean_tree_exits_zero(self, capsys):
