@@ -82,6 +82,13 @@ class VariationalProblem:
     recombination: bool = True
     full_wave: bool = False
     ports: list = None
+    #: Linear-solver backend designation forwarded to the
+    #: :class:`AVSolver` (``None`` = resolve the ambient default; the
+    #: serving layer pins an explicit pure-data
+    #: :class:`~repro.solver.backends.SolverConfig` here so builds are
+    #: environment-immune and the choice survives pickling into
+    #: workers).
+    solver_backend: object = None
 
     def __post_init__(self) -> None:
         if self.surface_model not in ("csv", "naive"):
@@ -122,7 +129,8 @@ class VariationalProblem:
         if self._solver is None:
             self._solver = AVSolver(self.structure, self.frequency,
                                     recombination=self.recombination,
-                                    full_wave=self.full_wave)
+                                    full_wave=self.full_wave,
+                                    backend=self.solver_backend)
         return self._solver
 
     @property

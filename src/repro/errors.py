@@ -49,6 +49,12 @@ class SingularSystemError(ReproError):
     """A linear system factorization failed (singular or badly scaled)."""
 
 
+class SolverBackendError(ReproError):
+    """Invalid solver-backend selection or configuration (unknown
+    backend name, tolerance on a direct backend, duplicate registry
+    entry...)."""
+
+
 class StochasticError(ReproError):
     """Invalid stochastic-model configuration (bad covariance, empty
     variable set, unsupported expansion order...)."""

@@ -29,6 +29,10 @@ Rule families (full catalog in ``docs/LINT.md``):
   package never reaches identity modules or ``canonical()`` /
   ``cache_key()`` forms, so instrumentation can never perturb a
   cache key.
+- **RL7xx** solver-backend confinement: scipy's iterative solvers run
+  only inside the certified backend seam
+  (``repro.solver.backends``), where residuals are checked, failures
+  fall back to the direct LU, and tolerances are cache-keyed.
 
 Suppress a deliberate exception inline, with a reason::
 
@@ -53,6 +57,7 @@ from repro.lint import rules_store  # noqa: F401
 from repro.lint import rules_pool  # noqa: F401
 from repro.lint import rules_api  # noqa: F401
 from repro.lint import rules_obs  # noqa: F401
+from repro.lint import rules_solver  # noqa: F401
 
 from repro.lint.engine import (
     FileContext,

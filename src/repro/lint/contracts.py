@@ -135,6 +135,20 @@ SQLITE_REQUIRED_PRAGMAS = ("journal_mode=WAL", "synchronous=NORMAL")
 #: atomic-write helper: raw file operations are its job.
 ATOMIC_WRITER_NAMES = ("atomic_write",)
 
+#: The only modules allowed to touch scipy's iterative solvers.  The
+#: backend seam (``SolverBackend``) certifies every iterative solution
+#: — explicit residual check, LU fallback on non-convergence, labeled
+#: counters — and the serving identity layer hashes the tolerance into
+#: the cache key.  A ``gmres`` call anywhere else would be an
+#: uncertified, unkeyed tolerance class leaking into results.
+ITERATIVE_SOLVER_HOME_MODULES = ("repro.solver.backends",)
+
+#: The scipy.sparse.linalg entry points the confinement rule patrols.
+ITERATIVE_SOLVER_NAMES = frozenset({
+    "bicg", "bicgstab", "cg", "cgs", "gcrotmk", "gmres", "lgmres",
+    "minres", "qmr", "tfqmr", "lsqr", "lsmr",
+})
+
 #: Receivers whose ``.submit`` / ``.map`` cross a process boundary
 #: (matched as a case-insensitive substring of the receiver name).
 POOL_RECEIVER_HINTS = ("pool", "executor")

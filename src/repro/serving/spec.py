@@ -39,6 +39,14 @@ SPEC_VERSION = 1
 #: parallel collocation) and inside the adaptive block alike — is
 #: *stripped* from the canonical form, because the worker count
 #: changes wall time but not one bit of the surrogate.
+#: ``solver`` is ``None`` (the direct ``"lu"`` backend) or a
+#: linear-solver backend block (``backend``, ``tol``, ``maxiter``,
+#: ``method`` — see :class:`repro.solver.backends.SolverConfig`).  A
+#: non-default backend changes which certified-tolerance class the
+#: surrogate is built in, so the block is part of the canonical form —
+#: except that the default ``"lu"`` selection is *omitted* (like a
+#: ``None`` adaptive block), keeping every pre-seam cache key
+#: byte-for-byte intact.
 REDUCTION_DEFAULTS = {
     "method": "wpfa",
     "energy": 0.95,
@@ -46,6 +54,7 @@ REDUCTION_DEFAULTS = {
     "level": 2,
     "fit": "quadrature",
     "adaptive": None,
+    "solver": None,
     "workers": None,
 }
 
@@ -149,6 +158,22 @@ class ProblemSpec:
                         f"reduction[{name!r}]={value!r} has no effect "
                         f"on an adaptive build; drop it or remove the "
                         f"adaptive block")
+        solver = self.reduction.get("solver")
+        if solver is not None:
+            # Accept a live SolverConfig for convenience; the wire
+            # form is always its dict.  Validation (registered
+            # backend, tolerance range, no tol on "lu") lives in
+            # SolverConfig itself.
+            from repro.errors import SolverBackendError
+            from repro.solver.backends import SolverConfig
+            if isinstance(solver, SolverConfig):
+                self.reduction["solver"] = solver.to_dict()
+            else:
+                try:
+                    SolverConfig.from_dict(solver)
+                except SolverBackendError as exc:
+                    raise ServingError(
+                        f"reduction['solver']: {exc}") from exc
         _check_json_scalars(self.reduction, "reduction")
 
     # ------------------------------------------------------------------
@@ -182,6 +207,10 @@ class ProblemSpec:
             from repro.adaptive.driver import AdaptiveConfig
             reduction["adaptive"] = AdaptiveConfig.from_dict(
                 reduction["adaptive"]).to_dict(include_workers=True)
+        if reduction["solver"] is not None:
+            from repro.solver.backends import SolverConfig
+            reduction["solver"] = SolverConfig.from_dict(
+                reduction["solver"]).to_dict()
         return reduction
 
     def canonical(self) -> dict:
@@ -203,9 +232,20 @@ class ProblemSpec:
         The ``workers`` knobs (reduction-level and adaptive-block) are
         stripped: the same surrogate is built (bitwise) regardless of
         core count, so core count must not split the cache.
+
+        The ``solver`` block follows the adaptive precedent: the
+        default ``"lu"`` selection (``None`` or an explicit
+        ``{"backend": "lu"}``) is omitted, so every cache key minted
+        before the backend seam existed survives byte-for-byte, while
+        any iterative backend — whose certified tolerance defines a
+        different equivalence class of results — hashes apart and is
+        recorded in the store sidecar.
         """
         reduction = self.resolved_reduction()
         del reduction["workers"]
+        if reduction["solver"] is None \
+                or reduction["solver"]["backend"] == "lu":
+            del reduction["solver"]
         if reduction["adaptive"] is None:
             del reduction["adaptive"]
         else:
@@ -232,9 +272,22 @@ class ProblemSpec:
 
     # ------------------------------------------------------------------
     def build_problem(self):
-        """Resolve the spec to a live VariationalProblem (one build)."""
+        """Resolve the spec to a live VariationalProblem (one build).
+
+        The solver backend is pinned *explicitly* — even when it is
+        the default ``"lu"`` — as a pure-data
+        :class:`~repro.solver.backends.SolverConfig`, so a build is
+        immune to the ``REPRO_SOLVER_BACKEND`` environment variable
+        (which steers only direct, spec-less solver use) and the
+        pinned choice survives pickling into pool workers.
+        """
         from repro.serving.presets import get_preset
-        return get_preset(self.preset).build(self.resolved_params())
+        from repro.solver.backends import SolverConfig
+        problem = get_preset(self.preset).build(self.resolved_params())
+        solver = self.resolved_reduction()["solver"]
+        problem.solver_backend = SolverConfig() if solver is None \
+            else SolverConfig.from_dict(solver)
+        return problem
 
     def analysis_kwargs(self) -> dict:
         """Keyword arguments for run_sscm_analysis."""

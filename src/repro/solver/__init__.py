@@ -1,6 +1,9 @@
 """The coupled A-V solver.
 
 * :mod:`repro.solver.linear` — equilibrated sparse LU.
+* :mod:`repro.solver.backends` — pluggable linear-solver backends
+  (the ``"lu"`` reference path and the factor-reuse-preconditioned
+  ``"krylov"`` path; see ``docs/SOLVER.md``).
 * :mod:`repro.solver.newton` — damped Newton-Raphson (paper eq. 8).
 * :mod:`repro.solver.dc` — nonlinear-Poisson equilibrium operating point.
 * :mod:`repro.solver.ac` — frequency-domain coupled {V, n, p} system.
@@ -9,6 +12,17 @@
 """
 
 from repro.solver.linear import SparseFactor, solve_sparse
+from repro.solver.backends import (
+    KrylovBackend,
+    LUBackend,
+    SolverBackend,
+    SolverConfig,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
 from repro.solver.newton import NewtonOptions, damped_newton
 from repro.solver.dc import EquilibriumState, solve_equilibrium
 from repro.solver.ac import ACSolution, ACSystem
@@ -17,6 +31,15 @@ from repro.solver.avsolver import AVSolver
 __all__ = [
     "SparseFactor",
     "solve_sparse",
+    "SolverBackend",
+    "SolverConfig",
+    "LUBackend",
+    "KrylovBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "list_backends",
+    "resolve_backend",
     "NewtonOptions",
     "damped_newton",
     "EquilibriumState",

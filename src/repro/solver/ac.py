@@ -45,8 +45,8 @@ from repro.semiconductor.scharfetter_gummel import (
     electron_flux_linearization,
     hole_flux_linearization,
 )
+from repro.solver.backends import resolve_backend
 from repro.solver.dc import EquilibriumState
-from repro.solver.linear import SparseFactor
 
 
 @dataclass
@@ -98,7 +98,9 @@ class _RestrictedSystem:
     free_carriers: np.ndarray
     dirichlet_ids: np.ndarray
     coupling: sp.csr_matrix
-    factor: "SparseFactor"
+    #: Solve-ready factor from the system's backend (a SparseFactor on
+    #: the "lu" path, a preconditioned Krylov factor otherwise).
+    factor: object
 
 
 class ACSystem:
@@ -116,11 +118,20 @@ class ACSystem:
         Excitation frequency [Hz].
     recombination:
         Include the SRH linearization (on by default).
+    backend:
+        Linear-solver backend designation (name, config mapping,
+        :class:`~repro.solver.backends.SolverConfig` or live
+        :class:`~repro.solver.backends.SolverBackend`); default the
+        direct ``"lu"`` path.  Passing one *live* backend instance to
+        several systems (as :func:`~repro.solver.sweep.frequency_sweep`
+        and :class:`~repro.solver.avsolver.AVSolver` do) is what lets
+        the ``"krylov"`` backend reuse a previous factorization as its
+        preconditioner.
     """
 
     def __init__(self, structure: Structure, geometry: GridGeometry,
                  equilibrium: EquilibriumState, frequency: float,
-                 recombination: bool = True):
+                 recombination: bool = True, backend=None):
         if frequency <= 0.0:
             raise GeometryError(
                 f"frequency must be positive, got {frequency}")
@@ -129,6 +140,7 @@ class ACSystem:
         self.equilibrium = equilibrium
         self.omega = 2.0 * np.pi * frequency
         self.recombination = recombination
+        self._backend = resolve_backend(backend)
         # Restricted system + LU per *set* of pinned contacts: the
         # matrix restriction depends only on which contacts are pinned,
         # never on their voltages, so every excitation over the same
@@ -341,7 +353,12 @@ class ACSystem:
             free_carriers=free_carriers,
             dirichlet_ids=dirichlet_ids,
             coupling=matrix[unknown][:, dirichlet_ids].tocsr(),
-            factor=SparseFactor(matrix[unknown][:, unknown]),
+            # The reuse key names the pinned-contact set: across
+            # frequencies or samples, the same set yields the same
+            # restriction pattern, so a shared backend instance can
+            # precondition this solve with its previous factorization.
+            factor=self._backend.factorize(
+                matrix[unknown][:, unknown], key=key),
         )
         self._factor_cache[key] = restricted
         return restricted

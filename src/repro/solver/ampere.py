@@ -38,7 +38,8 @@ from repro.em.topology import FaceSet, curl_matrix
 from repro.errors import ExtractionError
 from repro.geometry.structure import Structure
 from repro.mesh.dual import GridGeometry
-from repro.solver.linear import SparseFactor, solve_sparse
+from repro.solver.backends import resolve_backend
+from repro.solver.linear import solve_sparse
 
 
 def _axis_spacings(axis_coords: np.ndarray) -> np.ndarray:
@@ -63,7 +64,8 @@ class AmpereSystem:
     """Curl-curl system for the vector potential on the nominal grid."""
 
     def __init__(self, structure: Structure, geometry: GridGeometry,
-                 gauge_regularization: float = 1e-8):
+                 gauge_regularization: float = 1e-8, backend=None):
+        self._backend = resolve_backend(backend)
         self.structure = structure
         self.geometry = geometry
         self.links = geometry.links
@@ -138,7 +140,8 @@ class AmpereSystem:
             # Ground node 0 to fix the nullspace of the graph Laplacian.
             laplacian[0, :] = 0.0
             laplacian[0, 0] = 1.0
-            self._projection_factor = SparseFactor(laplacian.tocsr())
+            self._projection_factor = self._backend.factorize(
+                laplacian.tocsr(), key="ampere.projection")
         rhs = divergence.copy()
         rhs[0] = 0.0
         phi = self._projection_factor.solve(rhs)
@@ -172,9 +175,10 @@ class AmpereSystem:
                                       dtype=complex) * 1j * omega))
             return solve_sparse(matrix.tocsr(), rhs)
         if self._curl_curl_factor is None:
-            self._curl_curl_factor = SparseFactor(
+            self._curl_curl_factor = self._backend.factorize(
                 (self.curl_curl + self.gauge * sp.eye(
-                    self.links.num_links, format="csr")).tocsr())
+                    self.links.num_links, format="csr")).tocsr(),
+                key="ampere.curl_curl")
         return self._curl_curl_factor.solve(rhs)
 
 

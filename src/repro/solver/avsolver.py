@@ -27,6 +27,7 @@ from repro.mesh.entities import LinkSet
 from repro.mesh.perturbed import PerturbedGrid
 from repro.solver.ac import ACSolution, ACSystem
 from repro.solver.ampere import AmpereSystem, staggered_correction
+from repro.solver.backends import resolve_backend
 from repro.solver.dc import solve_equilibrium
 
 
@@ -45,6 +46,12 @@ class AVSolver:
         Run the Ampere vector-potential pass and re-solve with the
         induced EMF (eq. 3 coupling); off by default because the
         correction is negligible at 1 GHz on micrometre structures.
+    backend:
+        Linear-solver backend designation (see
+        :mod:`repro.solver.backends`).  Resolved *once* here and shared
+        by every sample's :class:`ACSystem`, so a stateful backend
+        (``"krylov"``) can precondition sample ``m`` with sample
+        ``m-1``'s factorization.
 
     Example
     -------
@@ -54,7 +61,8 @@ class AVSolver:
     """
 
     def __init__(self, structure: Structure, frequency: float,
-                 recombination: bool = True, full_wave: bool = False):
+                 recombination: bool = True, full_wave: bool = False,
+                 backend=None):
         if frequency <= 0.0:
             raise GeometryError(
                 f"frequency must be positive, got {frequency}")
@@ -62,6 +70,7 @@ class AVSolver:
         self.frequency = float(frequency)
         self.recombination = recombination
         self.full_wave = full_wave
+        self._backend = resolve_backend(backend)
         self.links = LinkSet(structure.grid)
         self._nominal_geometry = None
         self._ampere = None
@@ -116,7 +125,8 @@ class AVSolver:
             self.structure, grid_geometry, doping_profile=doping_profile)
         system = ACSystem(self.structure, grid_geometry, equilibrium,
                           self.frequency,
-                          recombination=self.recombination)
+                          recombination=self.recombination,
+                          backend=self._backend)
         self._sample_cache = (geometry, doping_profile, system)
         return system
 
@@ -162,5 +172,6 @@ class AVSolver:
         """One staggered Ampere iteration (see solver.ampere)."""
         if self._ampere is None:
             self._ampere = AmpereSystem(self.structure,
-                                        self.nominal_geometry)
+                                        self.nominal_geometry,
+                                        backend=self._backend)
         return staggered_correction(system, self._ampere, solution)

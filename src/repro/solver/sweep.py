@@ -30,6 +30,7 @@ from repro.mesh.dual import compute_geometry
 from repro.mesh.entities import LinkSet
 from repro.solver.ac import ACSystem
 from repro.solver.ampere import AmpereSystem, staggered_correction
+from repro.solver.backends import resolve_backend
 from repro.solver.dc import solve_equilibrium
 
 
@@ -78,7 +79,8 @@ class SweepResult:
 
 def frequency_sweep(structure: Structure, frequencies, ports=None,
                     recombination: bool = True,
-                    full_wave: bool = False) -> SweepResult:
+                    full_wave: bool = False,
+                    backend=None) -> SweepResult:
     """Characterize the structure across frequency, all ports batched.
 
     One DC equilibrium serves the whole sweep; per frequency the
@@ -100,6 +102,14 @@ def frequency_sweep(structure: Structure, frequencies, ports=None,
         Include the SRH linearization (forwarded to :class:`ACSystem`).
     full_wave:
         Add the staggered Ampere (induction EMF) correction per port.
+    backend:
+        Linear-solver backend designation (see
+        :mod:`repro.solver.backends`).  Resolved once for the whole
+        sweep and shared by every per-frequency system, so the
+        ``"krylov"`` backend preconditions frequency ``k`` with
+        frequency ``k-1``'s factorization — nearby frequencies differ
+        by a smooth ``j w`` perturbation, which is exactly where a
+        reused LU preconditioner converges in a handful of iterations.
     """
     frequencies = np.unique(
         np.asarray([float(f) for f in frequencies], dtype=float))
@@ -111,16 +121,18 @@ def frequency_sweep(structure: Structure, frequencies, ports=None,
     if not ports:
         raise GeometryError("at least one port is required")
 
+    backend = resolve_backend(backend)
     links = LinkSet(structure.grid)
     geometry = compute_geometry(structure.grid, links=links)
     equilibrium = solve_equilibrium(structure, geometry)
-    ampere = AmpereSystem(structure, geometry) if full_wave else None
+    ampere = AmpereSystem(structure, geometry, backend=backend) \
+        if full_wave else None
 
     admittance = np.zeros((frequencies.size, len(ports), len(ports)),
                           dtype=complex)
     for k, frequency in enumerate(frequencies):
         system = ACSystem(structure, geometry, equilibrium, frequency,
-                          recombination=recombination)
+                          recombination=recombination, backend=backend)
         solutions = system.solve_ports(ports)
         if full_wave:
             solutions = [staggered_correction(system, ampere, solution)

@@ -635,6 +635,45 @@ class TestObsFirewall:
 
 
 # ----------------------------------------------------------------------
+# RL7xx — iterative-solver confinement
+
+
+class TestIterativeSolverConfinement:
+    def test_iterative_import_outside_seam_is_flagged(self):
+        diagnostics = lint_snippet("""
+            from scipy.sparse.linalg import gmres
+        """, path="src/repro/solver/sweep.py", select="RL701")
+        assert rules_of(diagnostics) == ["RL701"]
+        assert "backend seam" in diagnostics[0].message
+
+    def test_iterative_call_outside_seam_is_flagged(self):
+        diagnostics = lint_snippet("""
+            import scipy.sparse.linalg as spla
+
+            def solve(matrix, rhs):
+                x, info = spla.bicgstab(matrix, rhs, rtol=1e-6)
+                return x
+        """, path="src/repro/analysis/runner.py", select="RL701")
+        assert rules_of(diagnostics) == ["RL701"]
+
+    def test_backend_seam_may_run_iterative_solvers(self):
+        diagnostics = lint_snippet("""
+            from scipy.sparse.linalg import bicgstab, gmres
+
+            def attempt(matrix, rhs):
+                return gmres(matrix, rhs, rtol=1e-10)
+        """, path="src/repro/solver/backends.py", select="RL701")
+        assert diagnostics == []
+
+    def test_direct_solvers_are_not_confined(self):
+        # splu/spsolve are the direct path — usable anywhere.
+        diagnostics = lint_snippet("""
+            from scipy.sparse.linalg import splu, spsolve
+        """, path="src/repro/solver/linear.py", select="RL701")
+        assert diagnostics == []
+
+
+# ----------------------------------------------------------------------
 # Suppression directives
 
 
@@ -753,7 +792,7 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ("RL000", "RL001", "RL101", "RL102", "RL103",
                         "RL201", "RL202", "RL301", "RL401", "RL501",
-                        "RL502", "RL601", "RL602"):
+                        "RL502", "RL601", "RL602", "RL701"):
             assert rule_id in out
 
     def test_clean_tree_exits_zero(self, capsys):
