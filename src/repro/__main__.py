@@ -10,6 +10,9 @@ Usage::
     python -m repro serve --port 8787     # always-on JSON/HTTP daemon
     python -m repro store ls              # surrogate store inventory
     python -m repro store gc --max-entries 100   # LRU eviction
+    python -m repro campaign run grid.json       # chained sweep campaign
+    python -m repro campaign status              # campaign catalogs
+    python -m repro campaign query ID q.json     # sweep answer table
 
 ``build`` and ``query`` take JSON request files (see
 :mod:`repro.serving.service`) and emit JSON responses on stdout, so the
@@ -35,6 +38,10 @@ STRUCTURES = {
     "metalplug": build_metalplug_structure,
     "tsv": build_tsv_structure,
 }
+
+#: Length of a cache key / campaign id (sha256 hex digits); used to
+#: tell a literal campaign id apart from a grid file path.
+_KEY_HEX = 64
 
 #: Contact names per structure, kept static so the ``structures``
 #: inventory command answers without building full meshes (tested
@@ -352,6 +359,139 @@ def cmd_query(args) -> int:
     return 1 if any("error" in r for r in result["responses"]) else 0
 
 
+def _resolve_campaign_id(target: str, store) -> str:
+    """A 64-hex campaign id, from an id or a grid file path.
+
+    ``repro campaign status|query`` accept either form: a literal id
+    (as printed by ``campaign run``) is used as-is, anything else is
+    read as a grid JSON file and hashed — so the same file that ran a
+    campaign also addresses its catalog.
+    """
+    if len(target) == _KEY_HEX and all(c in "0123456789abcdef"
+                                       for c in target):
+        return target
+    from repro.campaign import CampaignGrid
+    from repro.serving.service import load_request_file
+    return CampaignGrid.from_dict(
+        load_request_file(target)).campaign_id()
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import run_campaign
+    from repro.serving import open_store
+    from repro.serving.service import load_request_file
+    grid = load_request_file(args.grid)
+    store = open_store(args.store)
+    progress = None
+    if not args.quiet:
+        def progress(row):
+            print(f"[{row['status']:>6}] {row['key'][:16]}  "
+                  f"solves={row['num_solves']}  "
+                  f"warm={(row['warm_source'] or '-')[:16]}",
+                  file=sys.stderr, flush=True)
+    catalog = run_campaign(grid, store, workers=args.workers,
+                           segment_workers=args.segment_workers,
+                           warm_start=not args.no_warm_start,
+                           rebuild=args.rebuild, progress=progress)
+    totals = catalog["totals"]
+    if args.json:
+        _emit_json(catalog)
+    else:
+        rows = [
+            ("campaign", catalog["campaign"]),
+            ("store", str(store.root)),
+            ("members", str(totals["members"])),
+            ("built / hits / failed",
+             f"{totals['built']} / {totals['hits']} / "
+             f"{totals['failed']}"),
+            ("warm-started", str(totals["warm_started"])),
+            ("total solves", str(totals["total_solves"])),
+        ]
+        print(format_kv_block(rows, title="campaign run"))
+    return 1 if totals["failed"] else 0
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.campaign import list_catalogs, read_catalog
+    from repro.serving import open_store
+    store = open_store(args.store)
+    if args.target is None:
+        campaigns = list_catalogs(store)
+        if args.json:
+            _emit_json({"store": str(store.root),
+                        "campaigns": campaigns})
+            return 0
+        if not campaigns:
+            print(f"store {store.root}: no campaigns")
+            return 0
+        rows = []
+        for row in campaigns:
+            if "damaged" in row:
+                rows.append((row["campaign"][:16],
+                             f"DAMAGED: {row['damaged']}"))
+                continue
+            totals = row.get("totals") or {}
+            rows.append((
+                row["campaign"][:16],
+                f"{row.get('name') or row.get('preset')}  "
+                f"{totals.get('built', 0)}+{totals.get('hits', 0)}"
+                f"/{totals.get('members', 0)} built+hit  "
+                f"solves={totals.get('total_solves', 0)}"))
+        print(format_kv_block(
+            rows, title=f"campaigns in {store.root} "
+                        f"({len(campaigns)})"))
+        return 0
+    catalog = read_catalog(store,
+                           _resolve_campaign_id(args.target, store))
+    if args.json:
+        _emit_json(catalog)
+        return 0
+    rows = []
+    for member in catalog.get("members") or []:
+        detail = f"{member['status']}  solves={member['num_solves']}"
+        if member.get("warm_source"):
+            detail += f"  warm={member['warm_source'][:16]}"
+        if member.get("error"):
+            detail += f"  error: {member['error']}"
+        rows.append((member["key"][:16], detail))
+    totals = catalog.get("totals") or {}
+    rows.append(("totals",
+                 f"{totals.get('built', 0)} built, "
+                 f"{totals.get('hits', 0)} hits, "
+                 f"{totals.get('failed', 0)} failed, "
+                 f"{totals.get('pending', 0)} pending; "
+                 f"{totals.get('total_solves', 0)} solves"))
+    print(format_kv_block(
+        rows, title=f"campaign {catalog.get('campaign', '?')[:16]} "
+                    f"({catalog.get('name') or catalog.get('preset')})"))
+    return 0
+
+
+def cmd_campaign_query(args) -> int:
+    from repro.campaign import query_campaign, read_catalog
+    from repro.errors import CampaignError
+    from repro.serving import open_store
+    from repro.serving.service import load_request_file
+    store = open_store(args.store)
+    catalog = read_catalog(store,
+                           _resolve_campaign_id(args.target, store))
+    data = load_request_file(args.request)
+    if isinstance(data, list):
+        queries = data
+    elif isinstance(data, dict) and "queries" in data:
+        queries = data["queries"]
+    else:
+        raise CampaignError(
+            f"campaign query file {args.request} must be a list of "
+            f"queries or a mapping with a 'queries' list")
+    result = query_campaign(catalog, store, queries,
+                            num_samples=args.num_samples,
+                            seed=args.seed)
+    _emit_json(result)
+    return 1 if any("error" in member
+                    for member in result["members"]) else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -509,6 +649,85 @@ def main(argv=None) -> int:
     p_store_gc.add_argument("--json", action="store_true",
                             help="machine-readable report")
     p_store_gc.set_defaults(func=cmd_store_gc)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run and inspect sweep campaigns (warm-start-chained "
+             "build fleets over a parameter grid)")
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command",
+                                             required=True)
+    p_campaign_run = campaign_sub.add_parser(
+        "run",
+        help="execute a campaign grid: plan the warm-start chains, "
+             "build every member, write the catalog into the store")
+    p_campaign_run.add_argument(
+        "grid", help="campaign grid JSON file (preset, axes/points, "
+                     "base_params, reduction)")
+    p_campaign_run.add_argument(
+        "--store", default=None,
+        help="surrogate store directory "
+             "(default ~/.cache/repro/surrogates)")
+    p_campaign_run.add_argument(
+        "--workers", type=int, default=None,
+        help="per-build collocation worker processes (execution "
+             "only, never part of any cache key)")
+    p_campaign_run.add_argument(
+        "--segment-workers", type=int, default=None,
+        help="fan independent chain segments over up to N threads; "
+             "builds inside a segment stay sequential so every "
+             "chained warm start finds its predecessor on disk")
+    p_campaign_run.add_argument(
+        "--no-warm-start", action="store_true",
+        help="build every member cold (the chain degenerates to a "
+             "plain ordered sweep)")
+    p_campaign_run.add_argument(
+        "--rebuild", action="store_true",
+        help="force cold rebuilds even for already-stored members")
+    p_campaign_run.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-member progress lines on stderr")
+    p_campaign_run.add_argument(
+        "--json", action="store_true",
+        help="emit the full catalog document instead of the summary")
+    p_campaign_run.set_defaults(func=cmd_campaign_run)
+    p_campaign_status = campaign_sub.add_parser(
+        "status",
+        help="show a campaign catalog (or list all campaigns in the "
+             "store)")
+    p_campaign_status.add_argument(
+        "target", nargs="?", default=None,
+        help="campaign id or grid JSON file; omit to list every "
+             "campaign in the store")
+    p_campaign_status.add_argument(
+        "--store", default=None,
+        help="surrogate store directory "
+             "(default ~/.cache/repro/surrogates)")
+    p_campaign_status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output")
+    p_campaign_status.set_defaults(func=cmd_campaign_status)
+    p_campaign_query = campaign_sub.add_parser(
+        "query",
+        help="answer statistical queries against every campaign "
+             "member and tabulate by the sweep's varying parameters")
+    p_campaign_query.add_argument(
+        "target", help="campaign id or grid JSON file")
+    p_campaign_query.add_argument(
+        "request", help="JSON file: a list of queries, or a mapping "
+                        "with a 'queries' list")
+    p_campaign_query.add_argument(
+        "--store", default=None,
+        help="surrogate store directory "
+             "(default ~/.cache/repro/surrogates)")
+    p_campaign_query.add_argument(
+        "--num-samples", type=int, default=None,
+        help="Monte Carlo sample count per member engine "
+             "(default: the query engine's own)")
+    p_campaign_query.add_argument(
+        "--seed", type=int, default=None,
+        help="sampling seed per member engine (default: the query "
+             "engine's own)")
+    p_campaign_query.set_defaults(func=cmd_campaign_query)
 
     args = parser.parse_args(argv)
     try:

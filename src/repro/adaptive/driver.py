@@ -38,7 +38,7 @@ whole simplex and is immune.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -292,6 +292,19 @@ class WarmStart:
             else float("inf")
         return cls(indices=indices, frontier_error=frontier_error,
                    indicators=indicators, source=source)
+
+    def uncertified(self) -> "WarmStart":
+        """A copy that can seed but never certify.
+
+        ``frontier_error`` is forced to ``inf``, so the driver adopts
+        the seeded interior wholesale but always re-opens and
+        re-measures the frontier instead of transferring the source's
+        tolerance certification.  The serving pipeline applies this to
+        tol-relaxed seeds: the source certified a *different*
+        tolerance than this build must meet, so only its explored
+        index set — not its stopping evidence — carries over.
+        """
+        return replace(self, frontier_error=float("inf"))
 
 
 @dataclass

@@ -1,0 +1,50 @@
+"""repro.campaign — sweep campaigns: warm-start-chained build fleets.
+
+A campaign takes a parameter grid over one preset
+(:class:`~repro.campaign.grid.CampaignGrid`), orders the member
+builds along deterministic nearest-neighbor chains
+(:func:`~repro.campaign.plan.plan_campaign`) so each build
+warm-starts from its already-built nearest predecessor, executes the
+chains (:func:`~repro.campaign.executor.run_campaign`) with the
+store-wide sibling search as fallback, and leaves behind a queryable
+catalog document inside the store (:mod:`~repro.campaign.catalog`,
+:func:`~repro.campaign.query.query_campaign`).  The ``repro campaign
+run|status|query`` CLI and the daemon's ``/campaign`` endpoints sit
+on these.  See ``docs/CAMPAIGN.md``.
+"""
+
+from repro.campaign.grid import CAMPAIGN_VERSION, CampaignGrid
+from repro.campaign.plan import (
+    PLAN_VERSION,
+    CampaignPlan,
+    PlanMember,
+    plan_campaign,
+)
+from repro.campaign.catalog import (
+    CATALOG_SCHEMA_VERSION,
+    catalog_path,
+    catalog_summary,
+    list_catalogs,
+    read_catalog,
+    write_catalog,
+)
+from repro.campaign.executor import run_campaign
+from repro.campaign.query import campaign_varying, query_campaign
+
+__all__ = [
+    "CAMPAIGN_VERSION",
+    "CampaignGrid",
+    "PLAN_VERSION",
+    "CampaignPlan",
+    "PlanMember",
+    "plan_campaign",
+    "CATALOG_SCHEMA_VERSION",
+    "catalog_path",
+    "catalog_summary",
+    "list_catalogs",
+    "read_catalog",
+    "write_catalog",
+    "run_campaign",
+    "campaign_varying",
+    "query_campaign",
+]

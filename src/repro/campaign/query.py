@@ -1,0 +1,105 @@
+"""Campaign-wide statistical queries: one answer table per sweep.
+
+``query_campaign`` fans a JSON query list over every member of a
+finished (or partially finished) campaign through the same vectorized
+:class:`~repro.serving.query.QueryEngine` the request front-end uses,
+and tabulates the answers by the parameters that actually vary across
+the grid — the sweep's axes — so ``repro campaign query`` emits a
+ready-to-plot table instead of N disconnected reports.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    CampaignError,
+    StoreCorruptionError,
+    StoreSchemaError,
+)
+from repro.serving.query import QueryEngine
+from repro.serving.spec import canonical_json
+
+
+def campaign_varying(catalog: dict) -> list:
+    """Parameter names that vary across the catalog's members, sorted.
+
+    These are the sweep's effective axes — the columns a campaign
+    answer table is keyed by.  Computed from the catalog's canonical
+    member params, so a parameter that only *looks* different (int vs
+    int-valued float) does not count as varying.
+    """
+    members = catalog.get("members") or []
+    names = sorted({name for row in members
+                    for name in (row.get("params") or {})})
+    varying = []
+    for name in names:
+        values = {canonical_json((row.get("params") or {}).get(name))
+                  for row in members}
+        if len(values) > 1:
+            varying.append(name)
+    return varying
+
+
+def query_campaign(catalog: dict, store, queries,
+                   num_samples: int = None, seed: int = None) -> dict:
+    """Answer ``queries`` against every member of a campaign.
+
+    Parameters
+    ----------
+    catalog : dict
+        A campaign catalog document
+        (:func:`~repro.campaign.catalog.read_catalog`).
+    store : SurrogateStore
+        The store the campaign populated.
+    queries : list of dict
+        JSON queries in the request front-end format
+        (:meth:`~repro.serving.query.QueryEngine.answer`).
+    num_samples, seed : int, optional
+        Sampling controls forwarded to the
+        :class:`~repro.serving.query.QueryEngine` (defaults are the
+        engine's own).
+
+    Returns
+    -------
+    dict
+        ``{"campaign", "varying", "queries", "members"}`` where each
+        member row carries its varying-parameter values plus either
+        ``answers`` (one per query, in order) or an ``error`` string
+        (member not built yet, failed, or its entry is damaged) —
+        a partial sweep yields a partial table, never an exception.
+    """
+    if not isinstance(queries, (list, tuple)) or not queries:
+        raise CampaignError(
+            "campaign query needs a non-empty list of query dicts")
+    options = {}
+    if num_samples is not None:
+        options["num_samples"] = int(num_samples)
+    if seed is not None:
+        options["seed"] = int(seed)
+    varying = campaign_varying(catalog)
+    members = []
+    for row in catalog.get("members") or []:
+        key = row.get("key")
+        params = row.get("params") or {}
+        entry = {
+            "key": key,
+            "params": {name: params.get(name) for name in varying},
+            "status": row.get("status"),
+        }
+        try:
+            record = store.get(key)
+        except (StoreCorruptionError, StoreSchemaError) as exc:
+            record = None
+            entry["error"] = f"damaged store entry: {exc}"
+        if record is not None:
+            engine = QueryEngine(record, **options)
+            entry["answers"] = [engine.answer(query)
+                                for query in queries]
+        elif "error" not in entry:
+            entry["error"] = "not built"
+        members.append(entry)
+    return {
+        "campaign": catalog.get("campaign"),
+        "varying": varying,
+        "queries": [dict(query) for query in queries],
+        "members": members,
+    }

@@ -42,6 +42,7 @@ from repro.serving.store import (
     _KEY_HEX,
     SurrogateStore,
     _param_distance,
+    adaptive_tol,
     inventory_row,
     warm_reduction_signature,
 )
@@ -50,6 +51,14 @@ from repro.serving.store import (
 #: no ``.json`` suffix, so ``SurrogateStore.keys()`` (globbing
 #: ``*.json`` with 64-hex stems) can never mistake it for an entry.
 INDEX_DB_NAME = ".index.sqlite"
+
+#: Bumped whenever the schema *or any cached derivation* changes —
+#: e.g. when :func:`~repro.serving.store.warm_reduction_signature`
+#: relaxes a new field, every cached ``warm_sig`` is silently wrong
+#: even though the sidecars (and their mtimes) never moved, so the
+#: mtime-diff refresh alone would keep answering from stale rows.  A
+#: version mismatch drops the table and rebuilds from the sidecars.
+_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS entries (
@@ -60,6 +69,7 @@ CREATE TABLE IF NOT EXISTS entries (
     last_used      REAL NOT NULL,
     preset         TEXT,
     warm_sig       TEXT,
+    adaptive_tol   REAL,
     params_json    TEXT,
     has_refinement INTEGER NOT NULL DEFAULT 0,
     row_json       TEXT NOT NULL,
@@ -100,6 +110,14 @@ class StoreIndex:
         con = sqlite3.connect(self.path, timeout=10.0)
         con.execute("PRAGMA journal_mode=WAL")
         con.execute("PRAGMA synchronous=NORMAL")
+        version = con.execute("PRAGMA user_version").fetchone()[0]
+        if version != _SCHEMA_VERSION:
+            # Stale schema (or a fresh file at version 0): cached
+            # derivations like warm_sig may no longer match what the
+            # current code would compute, so start over — the next
+            # refresh rebuilds every row from the sidecars.
+            con.execute("DROP TABLE IF EXISTS entries")
+            con.execute(f"PRAGMA user_version = {_SCHEMA_VERSION:d}")
         con.executescript(_SCHEMA)
         return con
 
@@ -152,7 +170,7 @@ class StoreIndex:
         except (StoreCorruptionError, StoreSchemaError) as exc:
             row = {"key": key, "damaged": str(exc)}
             return (key, mtime_ns, sidecar_bytes, 0, 0.0, None, None,
-                    None, 0, canonical_json(row), str(exc))
+                    None, None, 0, canonical_json(row), str(exc))
         if sidecar is None:
             return None
         payload_path = self.root / f"{key}.npz"
@@ -166,10 +184,11 @@ class StoreIndex:
         has_refinement = int(bool(refinement)
                              and bool(refinement.get("accepted")
                                       or refinement.get("trace")))
-        warm_sig = canonical_json(
-            warm_reduction_signature(spec.get("reduction") or {}))
+        reduction = spec.get("reduction") or {}
+        warm_sig = canonical_json(warm_reduction_signature(reduction))
         return (key, mtime_ns, sidecar_bytes, payload_bytes,
                 row["last_used"], spec.get("preset"), warm_sig,
+                adaptive_tol(reduction),
                 canonical_json(spec.get("params") or {}),
                 has_refinement, canonical_json(row), None)
 
@@ -203,7 +222,7 @@ class StoreIndex:
                     continue
                 con.execute(
                     "INSERT OR REPLACE INTO entries VALUES "
-                    "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)", row)
+                    "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)", row)
                 changed += 1
         return changed
 
@@ -217,10 +236,11 @@ class StoreIndex:
         return [json.loads(row_json) for (row_json,) in rows]
 
     def warm_candidates(self, preset: str, warm_sig: str) -> list:
-        """Undamaged refinement-bearing siblings: (key, params_json)."""
+        """Undamaged refinement-bearing siblings:
+        (key, params_json, adaptive_tol)."""
         with closing(self._connect()) as con:
             return con.execute(
-                "SELECT key, params_json FROM entries "
+                "SELECT key, params_json, adaptive_tol FROM entries "
                 "WHERE preset = ? AND warm_sig = ? "
                 "AND has_refinement = 1 AND damaged IS NULL "
                 "ORDER BY key ASC", (preset, warm_sig)).fetchall()
@@ -325,16 +345,21 @@ class IndexedSurrogateStore(SurrogateStore):
             self._recover()
             return super().find_warm_start(spec)
         own_key = spec.cache_key()
+        target_tol = adaptive_tol(target["reduction"])
         ranked = []
-        for key, params_json in candidates:
+        for key, params_json, stored_tol in candidates:
             if key == own_key:
                 continue
             distance = _param_distance(target["params"],
                                        json.loads(params_json))
             if distance is None:
                 continue
-            ranked.append((distance, key))
-        for _, key in sorted(ranked):
+            # Same rank the plain-store scan uses: nearest first, an
+            # exact-tol sibling before a tol-relaxed one, then key.
+            tol_relaxed = int(stored_tol != target_tol)
+            ranked.append((distance, tol_relaxed, key))
+        for rank in sorted(ranked):
+            key = rank[-1]
             try:
                 sidecar = self.sidecar(key)
             except (StoreCorruptionError, StoreSchemaError):

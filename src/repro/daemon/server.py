@@ -19,19 +19,26 @@ builds:
 
 Endpoints (all JSON except ``/metrics``):
 
-=======  ==========  ==================================================
-method   path        answer
-=======  ==========  ==================================================
-GET      /health     liveness: status, uptime, store path, entry count
-GET      /stats      request/build/coalesce/hit/error counters plus
-                     per-endpoint latency histograms
-GET      /store      the store inventory (indexed listing)
-GET      /metrics    Prometheus text exposition (counters, gauges and
-                     latency histograms from this daemon merged with
-                     the process-global ``repro.obs`` registry)
-POST     /query      a serve_batch request/batch document
-POST     /shutdown   graceful stop (responds, then stops accepting)
-=======  ==========  ==================================================
+==============  ==============  ======================================
+method          path            answer
+==============  ==============  ======================================
+GET             /health         liveness: status, uptime, store path,
+                                entry count
+GET             /stats          request/build/coalesce/hit/error
+                                counters plus per-endpoint latency
+                                histograms
+GET             /store          the store inventory (indexed listing)
+GET             /campaign       campaign catalog summaries
+                                (:func:`repro.campaign.list_catalogs`)
+GET             /campaign/<id>  one full campaign catalog document
+GET             /metrics        Prometheus text exposition (counters,
+                                gauges and latency histograms from
+                                this daemon merged with the
+                                process-global ``repro.obs`` registry)
+POST            /query          a serve_batch request/batch document
+POST            /shutdown       graceful stop (responds, then stops
+                                accepting)
+==============  ==============  ======================================
 
 Observability: counters live in a per-instance
 :class:`~repro.obs.metrics.MetricsRegistry` (so embedded daemons never
@@ -50,7 +57,8 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import ReproError, ServingError
+from repro.campaign.catalog import list_catalogs, read_catalog
+from repro.errors import CampaignError, ReproError, ServingError
 from repro.daemon.index import open_indexed_store
 from repro.daemon.singleflight import SingleFlight
 from repro.obs.export import prometheus_text
@@ -68,8 +76,8 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 #: Routes the daemon answers; anything else is labelled "other" in the
 #: per-endpoint metrics so label cardinality stays bounded no matter
 #: what paths clients probe.
-KNOWN_ENDPOINTS = ("/health", "/metrics", "/query", "/shutdown",
-                   "/stats", "/store")
+KNOWN_ENDPOINTS = ("/campaign", "/health", "/metrics", "/query",
+                   "/shutdown", "/stats", "/store")
 
 
 class ReproDaemon:
@@ -188,7 +196,12 @@ class ReproDaemon:
         for everything else, so probing clients cannot inflate label
         cardinality.
         """
-        endpoint = path if path in KNOWN_ENDPOINTS else "other"
+        # Catalog routes carry the campaign id in the path; collapse
+        # them onto the "/campaign" label so ids never become labels.
+        endpoint = ("/campaign" if path.startswith("/campaign/")
+                    else path)
+        if endpoint not in KNOWN_ENDPOINTS:
+            endpoint = "other"
         self._requests.inc(endpoint=endpoint)
         self._latency.observe(duration_s, endpoint=endpoint)
         if self.access_log is not None:
@@ -368,6 +381,22 @@ class _Handler(BaseHTTPRequestHandler):
                     "store": str(self.app.store.root),
                     "entries": self.app.store.inventory(),
                 })
+            elif self.path == "/campaign":
+                self._send(200, {
+                    "store": str(self.app.store.root),
+                    "campaigns": list_catalogs(self.app.store),
+                })
+            elif self.path.startswith("/campaign/"):
+                campaign_id = self.path[len("/campaign/"):]
+                try:
+                    catalog = read_catalog(self.app.store,
+                                           campaign_id)
+                except CampaignError as exc:
+                    # Unknown or malformed id: the resource does not
+                    # exist, which is a 404, not a server fault.
+                    self._send(404, {"error": str(exc)})
+                else:
+                    self._send(200, catalog)
             elif self.path == "/metrics":
                 self._send_bytes(
                     200, self.app.metrics_text().encode(),

@@ -78,3 +78,8 @@ class StoreCorruptionError(ServingError):
 class StoreSchemaError(ServingError):
     """A persisted surrogate entry was written under an incompatible
     schema version and cannot be trusted."""
+
+
+class CampaignError(ServingError):
+    """Invalid campaign grid or catalog (malformed grid spec, unknown
+    campaign id, unreadable catalog document...)."""

@@ -59,7 +59,8 @@ STRIP_CONTRACTS = (
 
 #: The only slots wall-clock time may flow into: usage/provenance
 #: stamps that are deliberately *not* part of any identity or result.
-TIMESTAMP_FIELDS = frozenset({"created_at", "last_used"})
+TIMESTAMP_FIELDS = frozenset({"created_at", "last_used",
+                              "updated_at"})
 
 #: Modules whose *job* is reading the clock: the span tracer stamps
 #: wall/monotonic origins on every span and the structured event log
@@ -114,11 +115,13 @@ HASH_CONSTRUCTORS = frozenset({
 })
 
 #: Modules patrolled by the store-atomicity family: every persistent
-#: write under the store layer — serving *and* the daemon subsystem
-#: that mutates the same store (index, gc, server) — must go through
-#: the unique-tmp+rename helper, or a torn write becomes silently
-#: wrong statistics.
-STORE_LAYER_PREFIXES = ("repro.serving", "repro.daemon")
+#: write under the store layer — serving, the daemon subsystem that
+#: mutates the same store (index, gc, server) *and* the campaign
+#: layer that writes catalogs into it — must go through the
+#: unique-tmp+rename helper, or a torn write becomes silently wrong
+#: statistics.
+STORE_LAYER_PREFIXES = ("repro.serving", "repro.daemon",
+                        "repro.campaign")
 
 #: The only modules allowed to open sqlite connections, and the pragma
 #: statements every connection there must configure.  The sqlite index

@@ -26,7 +26,13 @@ from repro.errors import (
 from repro.obs.metrics import counter
 from repro.obs.trace import Tracer, activate, get_tracer, span
 from repro.serving.spec import ProblemSpec
-from repro.serving.store import SurrogateRecord, SurrogateStore
+from repro.serving.store import (
+    SurrogateRecord,
+    SurrogateStore,
+    _param_distance,
+    adaptive_tol,
+    warm_reduction_signature,
+)
 
 #: Execution-only observability (process-global registry): cache
 #: traffic, build volume and warm-start outcomes of ensure_surrogate.
@@ -85,37 +91,97 @@ class BuildReport:
         return self.record.cache_key
 
 
-def _warm_start_for(spec: ProblemSpec, store: SurrogateStore):
+def _chain_candidate(spec: ProblemSpec, store: SurrogateStore,
+                     key: str):
+    """An explicitly designated warm-start predecessor, validated.
+
+    The campaign executor plans its own nearest-neighbor chain and
+    hands each build its predecessor's cache key.  That key is only
+    trusted after passing the exact sibling gates
+    ``find_warm_start`` applies — present, undamaged, refinement-
+    bearing, same preset, same relaxed reduction signature, numeric-
+    only parameter difference — so a stale or incompatible chain seed
+    degrades to the store-wide search, never a wrong seed.  Returns
+    ``(key, sidecar)`` or ``None``.
+    """
+    if key == spec.cache_key():
+        return None
+    try:
+        sidecar = store.sidecar(key)
+    except (StoreCorruptionError, StoreSchemaError):
+        return None
+    if sidecar is None:
+        return None
+    refinement = sidecar.get("refinement")
+    if not refinement or not (refinement.get("accepted")
+                              or refinement.get("trace")):
+        return None
+    target = spec.canonical()
+    if target["reduction"].get("adaptive") is None:
+        return None
+    stored = sidecar.get("spec") or {}
+    if stored.get("preset") != target["preset"]:
+        return None
+    if warm_reduction_signature(stored.get("reduction") or {}) \
+            != warm_reduction_signature(target["reduction"]):
+        return None
+    if _param_distance(target["params"],
+                       stored.get("params") or {}) is None:
+        return None
+    return key, sidecar
+
+
+def _warm_start_for(spec: ProblemSpec, store: SurrogateStore,
+                    source_key: str = None):
     """Seed an adaptive build of ``spec`` from its nearest stored
-    sibling, or ``None`` when no usable one exists.  Never raises: a
-    malformed stored sidecar simply means a cold build."""
-    found = store.find_warm_start(spec)
+    sibling — or from the explicitly designated ``source_key`` when
+    given and usable — or ``None`` when no usable seed exists.  Never
+    raises: a malformed stored sidecar simply means a cold build."""
+    found = None
+    if source_key is not None:
+        found = _chain_candidate(spec, store, source_key)
+    if found is None:
+        found = store.find_warm_start(spec)
     if found is None:
         return None
     source, sidecar = found
     # The match is relaxed across chaos-basis variants (refinement is
-    # basis-independent); record a relaxed seed as such, so the
-    # sidecar's warm_start_source documents that the source fit a
-    # different basis than this build will.
-    stored_adaptive = ((sidecar.get("spec") or {}).get("reduction")
-                       or {}).get("adaptive") or {}
-    target_adaptive = spec.canonical()["reduction"].get("adaptive") \
-        or {}
+    # basis-independent) and across stopping tolerances (the index
+    # set transfers; certification does not).  Record a relaxed seed
+    # as such, so the sidecar's warm_start_source documents that the
+    # source fit a different basis — or certified a different tol —
+    # than this build will.
+    stored_reduction = ((sidecar.get("spec") or {}).get("reduction")
+                        or {})
+    target_reduction = spec.canonical()["reduction"]
+    stored_adaptive = stored_reduction.get("adaptive") or {}
+    target_adaptive = target_reduction.get("adaptive") or {}
     if stored_adaptive.get("basis") != target_adaptive.get("basis"):
         source = f"{source}:basis-relaxed"
+    tol_relaxed = (adaptive_tol(stored_reduction)
+                   != adaptive_tol(target_reduction))
+    if tol_relaxed:
+        source = f"{source}:tol-relaxed"
     try:
-        return WarmStart.from_refinement(sidecar["refinement"],
+        seed = WarmStart.from_refinement(sidecar["refinement"],
                                          source=source)
     except (StochasticError, KeyError, TypeError, ValueError):
         # The store's integrity gate only hashes the sidecar's spec,
         # so an edited refinement block can still reach this point in
         # any malformed shape — all of it means "no usable seed".
         return None
+    if tol_relaxed:
+        # The source certified a different tolerance class; its index
+        # set seeds this build but its frontier evidence must not
+        # certify it — the driver re-opens the frontier instead.
+        seed = seed.uncertified()
+    return seed
 
 
 def build_surrogate(spec: ProblemSpec, progress=None,
                     store: SurrogateStore = None,
-                    warm_start: bool = True) -> SurrogateRecord:
+                    warm_start: bool = True,
+                    warm_source: str = None) -> SurrogateRecord:
     """Run the SSCM pipeline for a spec and wrap the result.
 
     One nominal solve (wPFA weights) plus one deterministic solve per
@@ -138,6 +204,12 @@ def build_surrogate(spec: ProblemSpec, progress=None,
     warm_start : bool, default True
         Allow seeding from a stored sibling; ``False`` forces a cold
         build even when ``store`` is given.
+    warm_source : str, optional
+        Cache key of a *designated* warm-start predecessor (the
+        campaign executor's chain neighbor).  Tried first; when it is
+        missing, damaged or incompatible the store-wide
+        ``find_warm_start`` search is the fallback.  Ignored when
+        ``warm_start`` is ``False``.
 
     Returns
     -------
@@ -153,7 +225,8 @@ def build_surrogate(spec: ProblemSpec, progress=None,
     if warm_start and store is not None \
             and kwargs["refinement"] is not None:
         with span("warm_start_lookup"):
-            seed = _warm_start_for(spec, store)
+            seed = _warm_start_for(spec, store,
+                                   source_key=warm_source)
     analysis = run_sscm_analysis(problem, progress=progress,
                                  problem_builder=spec.build_problem,
                                  warm_start=seed, **kwargs)
@@ -171,6 +244,7 @@ def build_surrogate(spec: ProblemSpec, progress=None,
 
 def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
                      rebuild: bool = False, warm_start: bool = True,
+                     warm_source: str = None,
                      progress=None) -> BuildReport:
     """Return the stored surrogate for ``spec``, building it on a miss.
 
@@ -190,6 +264,10 @@ def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
     warm_start : bool, default True
         Allow warm-started adaptive builds; ``False`` forces cold
         refinement from the root index.
+    warm_source : str, optional
+        Cache key of a designated warm-start predecessor to try
+        before the store-wide sibling search (see
+        :func:`build_surrogate`).  A hit never consults it.
     progress : callable, optional
         ``(completed, total)`` callback for the collocation loop of a
         cold build.
@@ -258,7 +336,8 @@ def ensure_surrogate(spec: ProblemSpec, store: SurrogateStore,
                 tracer.span("build", cache_key=key) as build_span:
             record = build_surrogate(
                 spec, progress=progress, store=store,
-                warm_start=warm_start and not rebuild)
+                warm_start=warm_start and not rebuild,
+                warm_source=warm_source)
             solve_names = ("nominal_solve", "collocation", "wave")
             totals = tracer.totals(root=build_span.span_id)
             # Persisted (execution-only) breakdown: the sidecar's copy

@@ -423,19 +423,23 @@ class SurrogateStore:
         """Nearest stored adaptive sibling of ``spec`` for warm starts.
 
         A *sibling* is a stored entry with the same preset and the
-        same canonical reduction block (same method/energy/caps and
-        the same adaptive stopping controls — so its recorded frontier
-        certification is meaningful for this build) whose parameters
-        differ only numerically.  Among siblings, nearest means the
-        smallest relative Euclidean distance over the numeric
-        parameters; ties break on the cache key for determinism.
+        same canonical reduction block up to the relaxations of
+        :func:`warm_reduction_signature` (same method/energy/caps and
+        the same adaptive budget caps) whose parameters differ only
+        numerically.  Among siblings, nearest means the smallest
+        relative Euclidean distance over the numeric parameters; at
+        equal distance an exact-``tol`` sibling outranks a
+        tol-relaxed one, and remaining ties break on the cache key
+        for determinism.
 
         The match is relaxed across chaos-``basis`` variants
-        (:func:`warm_reduction_signature`): refinement is
-        basis-independent — the basis only changes the final fit —
-        so an order-2 sibling may seed an order-adaptive build and
-        vice versa.  The pipeline records such a seed as
-        ``<key>:basis-relaxed`` in ``warm_start_source``.
+        (refinement is basis-independent — the basis only changes the
+        final fit — so an order-2 sibling may seed an order-adaptive
+        build and vice versa) and across stopping tolerances (the
+        index set transfers; certification does not — the pipeline
+        disables it for cross-``tol`` seeds).  The pipeline records
+        relaxed seeds as ``<key>:basis-relaxed`` /
+        ``<key>:tol-relaxed`` in ``warm_start_source``.
 
         Parameters
         ----------
@@ -456,6 +460,7 @@ class SurrogateStore:
         if target["reduction"].get("adaptive") is None:
             return None
         target_signature = warm_reduction_signature(target["reduction"])
+        target_tol = adaptive_tol(target["reduction"])
         own_key = spec.cache_key()
         best = None
         for key in self.keys():
@@ -474,14 +479,17 @@ class SurrogateStore:
             stored = sidecar["spec"]
             if stored.get("preset") != target["preset"]:
                 continue
-            if warm_reduction_signature(stored.get("reduction") or {}) \
+            stored_reduction = stored.get("reduction") or {}
+            if warm_reduction_signature(stored_reduction) \
                     != target_signature:
                 continue
             distance = _param_distance(target["params"],
                                        stored.get("params") or {})
             if distance is None:
                 continue
-            rank = (distance, key)
+            tol_relaxed = int(adaptive_tol(stored_reduction)
+                              != target_tol)
+            rank = (distance, tol_relaxed, key)
             if best is None or rank < best[0]:
                 best = (rank, key, sidecar)
         if best is None:
@@ -515,25 +523,46 @@ def inventory_row(key: str, sidecar: dict, size_bytes: int) -> dict:
 
 
 def warm_reduction_signature(reduction: dict) -> dict:
-    """A canonical reduction block with the chaos ``basis`` relaxed.
+    """A canonical reduction block with ``basis`` and ``tol`` relaxed.
 
     Warm starts transfer the *refinement* state (accepted indices +
-    indicators), and refinement is basis-independent: the ``basis``
-    mode only changes the final projection, never the grids, solves or
-    termination.  Two reduction blocks that differ only in the
-    adaptive ``basis`` therefore describe warm-compatible builds, and
-    this signature — the block with ``basis`` dropped — is what
-    ``find_warm_start`` (and the daemon's sqlite index) match on.
-    The stopping controls (``tol``/``max_solves``/``max_level``) stay
-    in the signature: a looser-tol source never certifies a tighter
-    build.
+    indicators), and this signature — what ``find_warm_start`` (and
+    the daemon's sqlite index) match on — drops exactly the adaptive
+    settings that state transfers across:
+
+    * ``basis`` — refinement is basis-independent: the ``basis`` mode
+      only changes the final projection, never the grids, solves or
+      termination, so chaos-basis variants are warm-compatible
+      (``<key>:basis-relaxed`` provenance).
+    * ``tol`` — the accepted index set transfers across stopping
+      tolerances too; what does *not* transfer is the source's
+      frontier certification, so the pipeline marks a cross-``tol``
+      seed uncertifiable (``<key>:tol-relaxed`` provenance) and the
+      driver always re-opens and re-measures the frontier instead of
+      letting a looser-tol source certify a tighter build.
+
+    The budget controls (``max_solves``/``max_level``) stay in the
+    signature: a budget cap shapes *which* region the source was
+    allowed to explore, so a differently-capped interior is not a
+    sibling's.
     """
     adaptive = reduction.get("adaptive")
     if not isinstance(adaptive, dict):
         return dict(reduction)
     relaxed = {name: value for name, value in adaptive.items()
-               if name != "basis"}
+               if name not in ("basis", "tol")}
     return {**reduction, "adaptive": relaxed}
+
+
+def adaptive_tol(reduction: dict):
+    """The adaptive stopping tolerance of a canonical reduction block,
+    as a float, or ``None`` for fixed-grid blocks.  Shared by the
+    warm-start rankers (store scan and sqlite index) so "same tol"
+    means the same thing everywhere."""
+    adaptive = reduction.get("adaptive")
+    if not isinstance(adaptive, dict) or adaptive.get("tol") is None:
+        return None
+    return float(adaptive["tol"])
 
 
 def _param_distance(target: dict, stored: dict):

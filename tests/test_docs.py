@@ -17,13 +17,16 @@ from repro.__main__ import main
 REPO_ROOT = Path(__file__).resolve().parent.parent
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SUBCOMMANDS = ("info", "structures", "solve", "build", "query",
-               "serve", "store")
+               "serve", "store", "campaign")
 #: Every parser whose flags the CLI docs must track — the nested
-#: ``store`` subcommands carry their own flags, so ``store --help``
-#: alone would leave them invisible to the drift checks.
+#: ``store``/``campaign`` subcommands carry their own flags, so
+#: ``store --help`` alone would leave them invisible to the drift
+#: checks.
 HELP_TARGETS = tuple(
     [(command,) for command in SUBCOMMANDS]
-    + [("store", "ls"), ("store", "gc")])
+    + [("store", "ls"), ("store", "gc"),
+       ("campaign", "run"), ("campaign", "status"),
+       ("campaign", "query")])
 
 
 def _doc_files():
@@ -43,7 +46,8 @@ def _relative_links(path):
 
 class TestDocLinks:
     def test_docs_tree_exists(self):
-        for name in ("ARCHITECTURE.md", "CLI.md", "ADAPTIVE.md"):
+        for name in ("ARCHITECTURE.md", "CLI.md", "ADAPTIVE.md",
+                     "CAMPAIGN.md"):
             assert (REPO_ROOT / "docs" / name).is_file(), name
 
     def test_every_relative_link_resolves(self):
@@ -59,7 +63,7 @@ class TestDocLinks:
     def test_readme_links_into_docs(self):
         readme = (REPO_ROOT / "README.md").read_text()
         for name in ("docs/ARCHITECTURE.md", "docs/CLI.md",
-                     "docs/ADAPTIVE.md"):
+                     "docs/ADAPTIVE.md", "docs/CAMPAIGN.md"):
             assert name in readme, f"README does not link {name}"
 
 

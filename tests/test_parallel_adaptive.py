@@ -506,6 +506,87 @@ class TestFindWarmStart:
                        margin_um=2.6), store)
         assert exact.source == key
 
+    def test_tol_variant_does_not_block_matching(self, tmp_path):
+        # The accepted index set transfers across stopping tolerances
+        # (only the certification does not), so a looser-tol sibling
+        # may seed a tighter build — and vice versa.
+        from repro.serving import SurrogateStore
+
+        store = SurrogateStore(tmp_path)
+        stored = self._spec(adaptive={"tol": 1e-2}, margin_um=2.5)
+        store.save(_tiny_record(stored, refinement=self.REFINEMENT))
+        for tol in (1e-4, 1e-1):
+            found = store.find_warm_start(
+                self._spec(adaptive={"tol": tol}, margin_um=2.6))
+            assert found is not None \
+                and found[0] == stored.cache_key(), tol
+
+    def test_exact_tol_sibling_outranks_relaxed(self, tmp_path):
+        # Equidistant siblings: the one whose tol matches the target
+        # wins, regardless of key order.
+        from repro.serving import SurrogateStore
+
+        store = SurrogateStore(tmp_path)
+        exact = self._spec(adaptive={"tol": 1e-3}, margin_um=2.5)
+        looser = self._spec(adaptive={"tol": 1e-2}, margin_um=2.5)
+        store.save(_tiny_record(exact, refinement=self.REFINEMENT))
+        store.save(_tiny_record(looser, refinement=self.REFINEMENT))
+
+        target = self._spec(adaptive={"tol": 1e-3}, margin_um=2.6)
+        key, _ = store.find_warm_start(target)
+        assert key == exact.cache_key()
+
+    def test_tol_relaxed_seed_is_recorded_and_uncertifiable(
+            self, tmp_path):
+        # Mirrors the basis-relaxed provenance test: a cross-tol seed
+        # carries the :tol-relaxed suffix and an infinite frontier
+        # error, so the driver can never certify from it.
+        from repro.serving import SurrogateStore
+        from repro.serving.pipeline import _warm_start_for
+
+        store = SurrogateStore(tmp_path)
+        stored = self._spec(adaptive={"tol": 1e-2}, margin_um=2.5)
+        key = store.save(_tiny_record(stored,
+                                      refinement=self.REFINEMENT))
+
+        relaxed = _warm_start_for(
+            self._spec(adaptive={"tol": 1e-3}, margin_um=2.6), store)
+        assert relaxed.source == f"{key}:tol-relaxed"
+        assert relaxed.frontier_error == float("inf")
+        exact = _warm_start_for(
+            self._spec(adaptive={"tol": 1e-2}, margin_um=2.6), store)
+        assert exact.source == key
+        assert np.isfinite(exact.frontier_error)
+
+    def test_basis_and_tol_relaxations_compose(self, tmp_path):
+        from repro.serving import SurrogateStore
+        from repro.serving.pipeline import _warm_start_for
+
+        store = SurrogateStore(tmp_path)
+        stored = self._spec(adaptive={"tol": 1e-2, "basis": "order2"},
+                            margin_um=2.5)
+        key = store.save(_tiny_record(stored,
+                                      refinement=self.REFINEMENT))
+        seed = _warm_start_for(
+            self._spec(adaptive={"tol": 1e-3, "basis": "adaptive"},
+                       margin_um=2.6), store)
+        assert seed.source == f"{key}:basis-relaxed:tol-relaxed"
+        assert seed.frontier_error == float("inf")
+
+    def test_uncertified_seed_reopens_frontier(self):
+        # Driver-level contract behind the tol relaxation: an
+        # uncertified() copy still seeds the interior but must never
+        # terminate "warm".
+        from repro.adaptive.driver import WarmStart
+
+        warm = WarmStart(indices=((0,), (1,)), frontier_error=1e-5,
+                         indicators={(0,): 1.0, (1,): 0.5},
+                         source="abc")
+        uncertified = warm.uncertified()
+        assert uncertified.frontier_error == float("inf")
+        assert uncertified.indices == warm.indices
+        assert uncertified.source == warm.source
+
     def test_no_match_cases(self, tmp_path):
         from repro.serving import SurrogateStore
 
@@ -515,10 +596,11 @@ class TestFindWarmStart:
 
         # Fixed-grid target: nothing to warm-start.
         assert store.find_warm_start(self._spec(margin_um=2.6)) is None
-        # Different stopping controls: frontier certification wouldn't
-        # transfer.
+        # Different budget caps: a differently-capped source explored
+        # a different region, so its interior doesn't transfer.
         assert store.find_warm_start(
-            self._spec(adaptive={"tol": 1e-4}, margin_um=2.6)) is None
+            self._spec(adaptive={"tol": 1e-3, "max_level": 3},
+                       margin_um=2.6)) is None
         # Different preset.
         assert store.find_warm_start(
             self._spec(preset="table1", adaptive={"tol": 1e-3})) is None
@@ -580,7 +662,7 @@ class TestFindWarmStart:
         seen = {}
 
         def fake_build(spec, progress=None, store=None,
-                       warm_start=True):
+                       warm_start=True, warm_source=None):
             seen["warm_start"] = warm_start
             return _tiny_record(spec)
 
